@@ -1,0 +1,7 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one figure of the paper at a reduced scale (so the
+suite stays fast) and prints the series it produced; run the experiment
+drivers in ``repro.experiments`` directly with their default parameters for
+the full-size campaigns recorded in EXPERIMENTS.md.
+"""

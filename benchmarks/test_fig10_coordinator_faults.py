@@ -1,0 +1,16 @@
+"""Benchmark for Figure 10 — execution with two consecutive coordinator faults."""
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_two_consecutive_coordinator_faults(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig10(
+            n_tasks=120, servers_per_site={"lille": 8, "wisconsin": 8, "orsay": 8}, seed=3
+        ),
+        rounds=1, iterations=1,
+    )
+    print("makespan:", result["makespan"], "events:", result["events"])
+    assert result["tolerated_two_coordinator_faults"]
+    labels = [event["label"] for event in result["events"]]
+    assert 2 in labels and 8 in labels  # both coordinators were actually killed

@@ -1,0 +1,25 @@
+"""Benchmark for Figure 7 — execution time vs fault frequency."""
+
+from repro.experiments import run_fig7
+from repro.experiments.common import print_rows
+
+
+def test_fig7_fault_frequency(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig7(
+            frequencies=[0.0, 4.0, 10.0],
+            seeds=(7,),
+            n_calls=32,
+            exec_time=5.0,
+            n_servers=8,
+            n_coordinators=4,
+            horizon=4000.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    print_rows(rows, title="Figure 7: benchmark execution time vs fault frequency")
+    baseline = rows[0]
+    worst = rows[-1]
+    assert worst["faulty_servers_seconds"] > baseline["faulty_servers_seconds"]
+    assert worst["faulty_coordinators_seconds"] >= baseline["faulty_coordinators_seconds"]
+    assert all(r["faulty_servers_completed"] and r["faulty_coordinators_completed"] for r in rows)

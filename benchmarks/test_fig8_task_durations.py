@@ -1,0 +1,13 @@
+"""Benchmark for Figure 8 — distribution of Alcatel task durations."""
+
+from repro.experiments import run_fig8
+from repro.experiments.common import print_rows
+
+
+def test_fig8_task_duration_distribution(benchmark):
+    result = benchmark.pedantic(lambda: run_fig8(n_tasks=1000, bins=20), rounds=1, iterations=1)
+    print_rows(result["histogram"], title="Figure 8: distribution of task durations")
+    stats = result["stats"]
+    print("stats:", stats)
+    assert stats["count"] == 1000
+    assert stats["max"] > 4 * stats["median"]  # wide, right-skewed range

@@ -1,0 +1,20 @@
+"""Benchmark for Figure 9 — reference Alcatel execution without fault."""
+
+from repro.analysis import plateaux_count
+from repro.experiments import run_fig9
+
+
+def test_fig9_reference_execution(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig9(
+            n_tasks=120, servers_per_site={"lille": 8, "wisconsin": 8, "orsay": 8}, seed=3
+        ),
+        rounds=1, iterations=1,
+    )
+    print("makespan:", result["makespan"], "completed:", result["completed"])
+    print("lille:", [int(v) for v in result["lille_completed"]])
+    print("orsay:", [int(v) for v in result["orsay_completed"]])
+    assert result["completed"] == result["submitted"] == 120
+    # The replica trails the primary by discrete replication rounds (plateaux).
+    assert result["replica_mean_lag_tasks"] >= 0
+    assert plateaux_count(result["orsay_completed"]) >= 1

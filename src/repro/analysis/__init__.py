@@ -1,0 +1,15 @@
+"""Analysis helpers: curve statistics and run reports."""
+
+from repro.analysis.metrics import (
+    completion_curve_lag,
+    makespan_overhead,
+    plateaux_count,
+    summarize_series,
+)
+
+__all__ = [
+    "completion_curve_lag",
+    "makespan_overhead",
+    "plateaux_count",
+    "summarize_series",
+]

@@ -1,0 +1,21 @@
+"""Baseline configurations RPC-V is compared against.
+
+The paper's related-work section describes what existing Grid RPC systems
+offered at the time; the ablation experiment quantifies the difference on the
+same substrate by expressing each one as a protocol configuration:
+
+* :func:`rpcv_protocol` — the full system (reference point);
+* :func:`no_fault_tolerance_protocol` — no coordinator replication and no
+  "on suspicion" rescheduling (Ninf/RCS-style: the programmer is on their own);
+* :func:`netsolve_style_protocol` — NetSolve-style server-side fault tolerance
+  only: the agent reschedules on server suspicion, but there is a single,
+  unreplicated agent and the client keeps no logs (optimistic at best).
+"""
+
+from repro.baselines.presets import (
+    netsolve_style_protocol,
+    no_fault_tolerance_protocol,
+    rpcv_protocol,
+)
+
+__all__ = ["netsolve_style_protocol", "no_fault_tolerance_protocol", "rpcv_protocol"]

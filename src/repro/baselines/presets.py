@@ -1,0 +1,43 @@
+"""Protocol-configuration presets for the baseline systems."""
+
+from __future__ import annotations
+
+from repro.config import ProtocolConfig
+from repro.types import LoggingStrategy
+
+__all__ = ["rpcv_protocol", "no_fault_tolerance_protocol", "netsolve_style_protocol"]
+
+
+def rpcv_protocol() -> ProtocolConfig:
+    """The full RPC-V configuration used throughout the experiments."""
+    protocol = ProtocolConfig()
+    protocol.coordinator.replication.period = 5.0
+    return protocol.validate()
+
+
+def no_fault_tolerance_protocol() -> ProtocolConfig:
+    """Ninf/RCS-style: no replication, no rescheduling, no durable client logs.
+
+    Submissions still reach the middle tier (the architecture is shared), but
+    nothing protects the execution: a lost coordinator or server simply loses
+    whatever it was holding until the application notices by itself.
+    """
+    protocol = ProtocolConfig()
+    protocol.coordinator.replication.enabled = False
+    protocol.coordinator.scheduler.reschedule_on_suspicion = False
+    protocol.client.logging.strategy = LoggingStrategy.OPTIMISTIC
+    return protocol.validate()
+
+
+def netsolve_style_protocol() -> ProtocolConfig:
+    """NetSolve-style: server fault tolerance only.
+
+    The agent (coordinator) reschedules RPCs when it suspects a server, but it
+    is a single point of failure (no passive replication) and the client keeps
+    no durable logs — "agent and client fault tolerance is not supported".
+    """
+    protocol = ProtocolConfig()
+    protocol.coordinator.replication.enabled = False
+    protocol.coordinator.scheduler.reschedule_on_suspicion = True
+    protocol.client.logging.strategy = LoggingStrategy.OPTIMISTIC
+    return protocol.validate()

@@ -1,0 +1,492 @@
+"""The RPC-V client component.
+
+The client is the piece the application links against.  It:
+
+* allocates call identities (timestamps) through its :class:`~repro.core.session.Session`;
+* logs every submission locally with the configured strategy
+  (:class:`~repro.msglog.strategies.LoggingEngine`) before/around sending it;
+* talks exclusively to its *preferred coordinator*, switching to another one
+  from its registry when the current one is suspected, and resynchronising
+  from its durable log after any switch or restart;
+* pulls results periodically (connection-less interactions: the coordinator
+  only ever answers requests);
+* emits heart-beats so the coordinator can tell it is still there.
+
+Every public operation that takes simulated time is a generator meant to be
+driven inside a host process (``yield from client.call_async(...)``); the
+GridRPC-style façade in :mod:`repro.core.api` wraps these for application
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config import ClientConfig
+from repro.core.protocol import (
+    CallDescription,
+    ResultRecord,
+    TASK_DESCRIPTION_BYTES,
+    identity_to_key,
+)
+from repro.core.registry import CoordinatorRegistry
+from repro.core.session import Session
+from repro.core.synchronization import ClientSyncPlan
+from repro.detect import FailureDetector, HeartbeatEmitter
+from repro.errors import RPCTimeout, SessionError
+from repro.msglog import GarbageCollector, LoggingEngine, MessageLog
+from repro.net.message import Message, MessageType
+from repro.nodes.node import Host
+from repro.sim.core import Event, ProcessKilled
+from repro.sim.monitor import Monitor
+from repro.types import Address, CallIdentity, RPCStatus
+
+__all__ = ["RPCHandle", "ClientComponent"]
+
+
+@dataclass
+class RPCHandle:
+    """Client-side handle on one submitted RPC."""
+
+    description: CallDescription
+    submitted_event: Event
+    completed_event: Event
+    status: RPCStatus = RPCStatus.SUBMITTED
+    result: ResultRecord | None = None
+    submitted_at: float = 0.0
+    completed_at: float | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def identity(self) -> CallIdentity:
+        """Identity of the underlying call."""
+        return self.description.identity
+
+    @property
+    def timestamp(self) -> int:
+        """The client timestamp (RPC counter) of this call."""
+        return self.description.identity.rpc.value
+
+    @property
+    def done(self) -> bool:
+        """Whether the result has been collected."""
+        return self.status is RPCStatus.COMPLETED
+
+
+class ClientComponent:
+    """One RPC-V client running on a volatile host."""
+
+    def __init__(
+        self,
+        host: Host,
+        session: Session,
+        registry: CoordinatorRegistry,
+        config: ClientConfig | None = None,
+        monitor: Monitor | None = None,
+    ) -> None:
+        self.host = host
+        self.env = host.env
+        self.session = session
+        self.registry = registry
+        self.config = config or ClientConfig()
+        self.config.validate()
+        self.monitor = monitor or host.monitor
+
+        # Volatile protocol state (rebuilt by start()).
+        self.log: MessageLog
+        self.logging: LoggingEngine
+        self.gc: GarbageCollector
+        self.detector: FailureDetector
+        self.handles: dict[int, RPCHandle] = {}
+        self._ack_waiters: dict[int, Event] = {}
+        self._sync_waiters: list[Event] = []
+        self.completed_count = 0
+        self.started = False
+        self._heartbeat: HeartbeatEmitter | None = None
+
+        host.on_restart(lambda _host: self.start())
+        self._init_volatile()
+
+    # ------------------------------------------------------------------ setup
+    def _init_volatile(self) -> None:
+        self.log = MessageLog(self.host, f"client:{self.session.session_id}")
+        self.logging = LoggingEngine(self.host, self.log, self.config.logging)
+        self.gc = GarbageCollector(self.log, self.config.logging)
+        self.detector = FailureDetector(self.config.detection)
+        self.handles = {}
+        self._ack_waiters = {}
+        self._sync_waiters = []
+        # Never reuse a timestamp: continue strictly after the durable log.
+        max_durable = self.log.max_durable_key(default=0) or 0
+        self.session.restore_counter(int(max_durable))
+
+    def start(self) -> None:
+        """(Re)start the client's background processes on its host.
+
+        Called once by the builder, and again by the host on every restart.
+        """
+        self._init_volatile()
+        self.started = True
+        for coordinator in self.registry.known():
+            self.detector.watch(coordinator, self.env.now)
+        self.host.spawn(self._recv_loop(), name=f"{self.address}:recv")
+        self.host.spawn(self._poll_loop(), name=f"{self.address}:poll")
+        self.host.spawn(self._coordinator_watch_loop(), name=f"{self.address}:watch")
+        self._heartbeat = HeartbeatEmitter(
+            host=self.host,
+            config=self.config.detection,
+            mtype=MessageType.CLIENT_HEARTBEAT,
+            targets=lambda: [self.preferred_coordinator()],
+            payload=lambda: {
+                "session": (self.session.user.value, self.session.session_id.value)
+            },
+        )
+        self._heartbeat.start()
+
+    @property
+    def address(self) -> Address:
+        """Network address of this client."""
+        return self.host.address
+
+    def preferred_coordinator(self) -> Address | None:
+        """The coordinator this client currently talks to."""
+        return self.registry.preferred()
+
+    # ------------------------------------------------------------- public API
+    def call_async(
+        self,
+        service: str,
+        *,
+        params_bytes: int = 1024,
+        result_bytes: int = 128,
+        exec_time: float | None = None,
+        args: Any = None,
+    ):
+        """Submit one non-blocking RPC.  Generator returning an :class:`RPCHandle`.
+
+        The generator completes when the submission has been registered on the
+        coordinator (acknowledged) — the quantity Figure 4 calls the "RPC
+        submission time".
+        """
+        if not self.started:
+            raise SessionError("client not started")
+        identity = self.session.allocate()
+        description = CallDescription(
+            identity=identity,
+            service=service,
+            params_bytes=params_bytes,
+            result_bytes=result_bytes,
+            exec_time=exec_time,
+            args=args,
+        )
+        handle = yield from self._submit(description)
+        return handle
+
+    def call(
+        self,
+        service: str,
+        *,
+        params_bytes: int = 1024,
+        result_bytes: int = 128,
+        exec_time: float | None = None,
+        args: Any = None,
+        timeout: float | None = None,
+    ):
+        """Blocking RPC: submit, then wait for the result.  Returns the result record."""
+        handle = yield from self.call_async(
+            service,
+            params_bytes=params_bytes,
+            result_bytes=result_bytes,
+            exec_time=exec_time,
+            args=args,
+        )
+        result = yield from self.wait(handle, timeout=timeout)
+        return result
+
+    def wait(self, handle: RPCHandle, timeout: float | None = None):
+        """Wait until ``handle`` completes; returns its :class:`ResultRecord`."""
+        if handle.done:
+            return handle.result
+        if timeout is None:
+            yield handle.completed_event
+            return handle.result
+        expiry = self.env.timeout(timeout)
+        yield self.env.any_of([handle.completed_event, expiry])
+        if not handle.done:
+            raise RPCTimeout(f"RPC {handle.identity} not completed within {timeout}s")
+        return handle.result
+
+    def wait_all(self, handles, timeout: float | None = None):
+        """Wait for every handle; returns their results in the same order."""
+        results = []
+        for handle in handles:
+            result = yield from self.wait(handle, timeout=timeout)
+            results.append(result)
+        return results
+
+    def probe(self, handle: RPCHandle) -> RPCStatus:
+        """Non-blocking status query."""
+        return handle.status
+
+    def pending_handles(self) -> list[RPCHandle]:
+        """Handles submitted in this incarnation and not yet completed."""
+        return [h for h in self.handles.values() if not h.done]
+
+    # ----------------------------------------------------------- submission path
+    def _submit(self, description: CallDescription):
+        timestamp = description.identity.rpc.value
+        handle = RPCHandle(
+            description=description,
+            submitted_event=self.env.event(),
+            completed_event=self.env.event(),
+            submitted_at=self.env.now,
+        )
+        self.handles[timestamp] = handle
+
+        payload = description.to_payload()
+        token = yield from self.logging.before_send(
+            timestamp, payload, description.wire_bytes
+        )
+
+        # Retry until some coordinator acknowledges the submission.
+        while True:
+            coordinator = self.preferred_coordinator()
+            if coordinator is None:
+                yield self.host.sleep(self.config.request_retry)
+                continue
+            ack_event = self.env.event()
+            self._ack_waiters[timestamp] = ack_event
+            self.host.send(
+                Message(
+                    mtype=MessageType.RPC_SUBMIT,
+                    source=self.address,
+                    dest=coordinator,
+                    payload={"call": payload, "timestamp": timestamp},
+                    size_bytes=description.wire_bytes,
+                )
+            )
+            self.monitor.incr("client.submissions_sent")
+            expiry = self.env.timeout(self.config.request_retry)
+            yield self.env.any_of([ack_event, expiry])
+            if ack_event.triggered:
+                break
+            self.monitor.incr("client.submission_retries")
+            self._after_request_timeout(coordinator)
+
+        self._ack_waiters.pop(timestamp, None)
+        yield from self.logging.after_send(token)
+        self.logging.ack(timestamp)
+        self.gc.maybe_collect()
+        if not handle.submitted_event.triggered:
+            handle.submitted_event.succeed(handle)
+        if self.config.inter_rpc_compute:
+            yield self.host.sleep(self.config.inter_rpc_compute)
+        return handle
+
+    def _after_request_timeout(self, coordinator: Address) -> None:
+        """Decide whether a request timeout warrants switching coordinator."""
+        silence = self.detector.silence(coordinator, self.env.now)
+        if silence > self.config.detection.suspicion_timeout:
+            self.switch_coordinator(away_from=coordinator)
+
+    def switch_coordinator(self, away_from: Address | None = None) -> Address | None:
+        """Suspect the current coordinator and move to another one."""
+        previous = self.preferred_coordinator()
+        new = self.registry.switch_preferred(away_from=away_from or previous)
+        if new is not None and new != previous:
+            self.monitor.incr("client.coordinator_switches")
+            self.monitor.trace(
+                self.env.now,
+                "client-switch",
+                client=str(self.address),
+                from_coordinator=str(previous) if previous else None,
+                to_coordinator=str(new),
+            )
+            self.host.spawn(self._sync_after_switch(new), name=f"{self.address}:sync")
+        return new
+
+    def _sync_after_switch(self, coordinator: Address):
+        try:
+            yield from self.synchronize(coordinator)
+        except ProcessKilled:  # pragma: no cover - host crash
+            raise
+
+    # ----------------------------------------------------------- synchronization
+    def synchronize(self, coordinator: Address | None = None):
+        """Synchronise with a coordinator from the local durable log.
+
+        Generator returning the :class:`ClientSyncPlan` (or ``None`` when no
+        coordinator replied).  Missing submissions are re-sent from the log;
+        results already known by the coordinator are collected immediately at
+        the next poll.
+        """
+        coordinator = coordinator or self.preferred_coordinator()
+        if coordinator is None:
+            return None
+        durable_keys = sorted(int(k) for k in self.log.durable_keys())
+        # Reading the local log list costs a disk read before anything is sent.
+        yield from self.host.disk_read(
+            max(64 * len(durable_keys), 64) if durable_keys else 64
+        )
+        reply_event = self.env.event()
+        self._sync_waiters.append(reply_event)
+        self.host.send(
+            Message(
+                mtype=MessageType.CLIENT_SYNC,
+                source=self.address,
+                dest=coordinator,
+                payload={
+                    "session": (self.session.user.value, self.session.session_id.value),
+                    "durable_keys": durable_keys,
+                    "max_timestamp": max(durable_keys, default=0),
+                },
+                size_bytes=64 + 8 * len(durable_keys),
+            )
+        )
+        expiry = self.env.timeout(self.config.request_retry)
+        yield self.env.any_of([reply_event, expiry])
+        if reply_event in self._sync_waiters:
+            self._sync_waiters.remove(reply_event)
+        if not reply_event.triggered:
+            self.monitor.incr("client.sync_timeouts")
+            return None
+        payload = reply_event.value
+        plan = ClientSyncPlan(
+            client_must_resend=list(payload.get("client_must_resend", [])),
+            client_lost=list(payload.get("client_lost", [])),
+            results_available=list(payload.get("results_available", [])),
+            coordinator_max_timestamp=int(payload.get("coordinator_max_timestamp", 0)),
+        )
+        self.session.restore_counter(plan.coordinator_max_timestamp)
+        # Re-send what the coordinator is missing, straight from the log: one
+        # bulk read of the needed records, then the pushes.
+        resend_records = [self.log.get(key) for key in plan.client_must_resend]
+        resend_bytes = sum(r.size_bytes for r in resend_records if r is not None)
+        if resend_bytes:
+            yield from self.host.disk_read(resend_bytes)
+        for key in plan.client_must_resend:
+            record = self.log.get(key)
+            if record is None:
+                continue
+            self.host.send(
+                Message(
+                    mtype=MessageType.RPC_SUBMIT,
+                    source=self.address,
+                    dest=coordinator,
+                    payload={"call": dict(record.payload), "timestamp": key},
+                    size_bytes=record.size_bytes,
+                )
+            )
+            self.monitor.incr("client.sync_resends")
+        self.monitor.incr("client.syncs")
+        return plan
+
+    def recover(self):
+        """After a restart: resynchronise with the preferred coordinator.
+
+        Returns the sync plan so the re-launched application can decide what
+        still needs to be submitted (calls never registered anywhere) and what
+        to simply collect.
+        """
+        plan = yield from self.synchronize()
+        return plan
+
+    # ----------------------------------------------------------------- loops
+    def _recv_loop(self):
+        try:
+            while True:
+                message: Message = yield self.host.recv()
+                self._dispatch(message)
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+    def _dispatch(self, message: Message) -> None:
+        self.detector.heard_from(message.source, self.env.now)
+        self.registry.rehabilitate(message.source)
+        mtype = message.mtype
+        if mtype is MessageType.SUBMIT_ACK:
+            timestamp = int(message.payload.get("timestamp", 0))
+            self.logging.ack(timestamp)
+            waiter = self._ack_waiters.pop(timestamp, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(message.payload)
+            handle = self.handles.get(timestamp)
+            if handle and not handle.submitted_event.triggered:
+                handle.submitted_event.succeed(handle)
+        elif mtype is MessageType.RESULT_REPLY:
+            for result_payload in message.payload.get("results", []):
+                self._complete(ResultRecord.from_payload(result_payload))
+        elif mtype is MessageType.COORD_SYNC_REPLY:
+            if self._sync_waiters:
+                waiter = self._sync_waiters.pop(0)
+                if not waiter.triggered:
+                    waiter.succeed(message.payload)
+        # Heart-beat style messages carry no action for the client.
+
+    def _complete(self, result: ResultRecord) -> None:
+        timestamp = result.identity.rpc.value
+        handle = self.handles.get(timestamp)
+        if handle is None or handle.done:
+            return
+        handle.result = result
+        handle.status = RPCStatus.COMPLETED
+        handle.completed_at = self.env.now
+        self.completed_count += 1
+        self.monitor.incr("client.results_received")
+        self.monitor.sample("client.completed", self.env.now, self.completed_count)
+        if not handle.completed_event.triggered:
+            handle.completed_event.succeed(result)
+
+    def _poll_loop(self):
+        try:
+            while True:
+                yield self.host.sleep(self.config.result_poll_period)
+                coordinator = self.preferred_coordinator()
+                if coordinator is None:
+                    continue
+                pending = [h.timestamp for h in self.pending_handles()]
+                self.host.send(
+                    Message(
+                        mtype=MessageType.RESULT_PULL,
+                        source=self.address,
+                        dest=coordinator,
+                        payload={
+                            "session": (
+                                self.session.user.value,
+                                self.session.session_id.value,
+                            ),
+                            "pending": pending,
+                        },
+                        size_bytes=64 + 8 * len(pending),
+                    )
+                )
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+    def _coordinator_watch_loop(self):
+        try:
+            while True:
+                yield self.host.sleep(self.config.detection.heartbeat_period)
+                coordinator = self.preferred_coordinator()
+                if coordinator is None:
+                    self.registry.switch_preferred()
+                    continue
+                if self.detector.is_suspected(coordinator, self.env.now):
+                    self.monitor.incr("client.coordinator_suspicions")
+                    self.switch_coordinator(away_from=coordinator)
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+    # ------------------------------------------------------------------ reporting
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of client-side counters (used by experiments and tests)."""
+        return {
+            "submitted": self.session.issued_count(),
+            "completed": self.completed_count,
+            "pending": len(self.pending_handles()),
+            "log_records": len(self.log),
+            "log_bytes": self.log.total_bytes(),
+            "logging_overhead": self.logging.blocking_overhead,
+            "preferred_coordinator": str(self.preferred_coordinator()),
+        }

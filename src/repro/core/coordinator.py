@@ -1,0 +1,663 @@
+"""The RPC-V coordinator (middle tier).
+
+The Coordinator service virtualises the servers for the clients: clients never
+talk to servers directly.  Each coordinator component:
+
+* registers client submissions as tasks in its **database** (descriptions) and
+  keeps result archives in its file store — both persistent across crashes;
+* answers server *work requests* with the FCFS scheduler, applying the replica
+  de-duplication policy (finished: never; ongoing: only if the owner is
+  suspected; pending: yes);
+* suspects servers through a heart-beat fault detector and reschedules their
+  ongoing tasks ("on suspicion" replication);
+* propagates a state abstract to its **ring successor** at every replication
+  period (passive replication), suspecting the successor and recomputing the
+  virtual ring when the acknowledgement does not come back;
+* answers client result pulls and synchronisation requests, fetching result
+  archives from the coordinator that holds them when it only learned of a
+  completion through replication (archives themselves are never replicated).
+
+Every request handled is charged the middleware processing overhead plus the
+database costs, which is where the paper's infrastructure overhead and the
+database-dominated replication times come from.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import CoordinatorConfig
+from repro.core.protocol import (
+    CallDescription,
+    ResultRecord,
+    TASK_DESCRIPTION_BYTES,
+    TaskRecord,
+    identity_to_key,
+)
+from repro.core.registry import CoordinatorRegistry
+from repro.core.replication import ReplicaState, build_state, merge_state
+from repro.core.scheduler import FcfsScheduler
+from repro.core.synchronization import plan_client_sync, plan_server_sync
+from repro.detect import FailureDetector, HeartbeatEmitter
+from repro.net.message import Message, MessageType
+from repro.nodes.database import Database, DatabaseModel
+from repro.nodes.node import Host
+from repro.sim.core import Event, ProcessKilled
+from repro.sim.monitor import Monitor
+from repro.types import Address, TaskState
+
+__all__ = ["CoordinatorComponent"]
+
+
+class CoordinatorComponent:
+    """One coordinator replica of the Coordinator service."""
+
+    def __init__(
+        self,
+        host: Host,
+        registry: CoordinatorRegistry,
+        config: CoordinatorConfig | None = None,
+        monitor: Monitor | None = None,
+        database_model: DatabaseModel | None = None,
+    ) -> None:
+        self.host = host
+        self.env = host.env
+        self.registry = registry
+        self.config = config or CoordinatorConfig()
+        self.config.validate()
+        self.monitor = monitor or host.monitor
+        self.name = str(host.address)
+
+        # Persistent state (survives crashes).
+        persistent = host.persistent
+        self.tasks: dict[tuple, TaskRecord] = persistent.setdefault("coord:tasks", {})
+        self.results: dict[tuple, ResultRecord] = persistent.setdefault("coord:results", {})
+        self.client_timestamps: dict[tuple[str, str], int] = persistent.setdefault(
+            "coord:timestamps", {}
+        )
+        self.database = persistent.setdefault(
+            "coord:database", Database(model=database_model or DatabaseModel())
+        )
+
+        # Volatile state (rebuilt by start()).
+        self.scheduler = FcfsScheduler(self.config.scheduler)
+        self.server_detector = FailureDetector(self.config.detection)
+        self.coordinator_detector = FailureDetector(self.config.detection)
+        self.known_servers: set[Address] = set()
+        self._dirty: set[tuple] = set()
+        self._replica_ack_waiters: dict[int, Event] = {}
+        #: key -> time of the last archive fetch attempt (retried if too old).
+        self._archive_fetches_in_flight: dict[tuple, float] = {}
+        self._archive_fetch_attempts: dict[tuple, int] = {}
+        #: key -> last time the assigned server reported working on the task.
+        self._task_activity: dict[tuple, float] = {}
+        self._replication_rounds = 0
+        self.started = False
+
+        host.on_restart(lambda _host: self.start())
+
+    # ------------------------------------------------------------------ setup
+    def start(self) -> None:
+        """(Re)start the coordinator's loops; persistent state is already here."""
+        self.scheduler = FcfsScheduler(self.config.scheduler)
+        self.server_detector = FailureDetector(self.config.detection)
+        self.coordinator_detector = FailureDetector(self.config.detection)
+        self.known_servers = set()
+        self._dirty = set(self.tasks.keys())  # resync everything after a restart
+        self._replica_ack_waiters = {}
+        self._archive_fetches_in_flight = {}
+        self._archive_fetch_attempts = {}
+        self._task_activity = {}
+        self.started = True
+        self.host.spawn(self._recv_loop(), name=f"{self.name}:recv")
+        self.host.spawn(self._server_watch_loop(), name=f"{self.name}:server-watch")
+        if self.config.replication.enabled:
+            self.host.spawn(self._replication_loop(), name=f"{self.name}:replication")
+        # Periodic heart-beats to every other coordinator: this is how stale
+        # suspicions get cleared ("the list is ... merged periodically, at
+        # heart beat signal receptions") so the virtual ring heals after
+        # crashes and restarts.
+        self._coord_heartbeat = HeartbeatEmitter(
+            host=self.host,
+            config=self.config.detection,
+            mtype=MessageType.COORD_HEARTBEAT,
+            targets=self.other_coordinators,
+        )
+        self._coord_heartbeat.start()
+        self._sample_completed()
+
+    @property
+    def address(self) -> Address:
+        """Network address of this coordinator."""
+        return self.host.address
+
+    # ------------------------------------------------------------------ helpers
+    def finished_count(self) -> int:
+        """Number of tasks this coordinator currently knows as finished."""
+        return sum(1 for t in self.tasks.values() if t.state is TaskState.FINISHED)
+
+    def _sample_completed(self) -> None:
+        self.monitor.sample(
+            f"coordinator.completed.{self.host.address.name}",
+            self.env.now,
+            self.finished_count(),
+        )
+
+    def _charge(self, seconds: float):
+        """Process fragment: pay a local processing cost."""
+        if seconds > 0:
+            yield self.host.sleep(seconds)
+
+    def _owner_suspected(self, owner: str) -> bool:
+        if not owner or owner == self.name:
+            return False
+        for coordinator in self.registry.known():
+            if str(coordinator) == owner:
+                return self.coordinator_detector.is_suspected(coordinator, self.env.now)
+        # An owner we do not even know is treated as unreachable, hence suspect.
+        return True
+
+    def other_coordinators(self) -> list[Address]:
+        """Every known coordinator except this one."""
+        return [c for c in self.registry.known() if c != self.address]
+
+    # ------------------------------------------------------------------ loops
+    def _recv_loop(self):
+        try:
+            while True:
+                message: Message = yield self.host.recv()
+                yield from self._handle(message)
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+    def _handle(self, message: Message):
+        overhead = self.config.request_processing_overhead
+        mtype = message.mtype
+        if mtype is MessageType.RPC_SUBMIT:
+            yield from self._charge(overhead)
+            yield from self._on_submit(message)
+        elif mtype is MessageType.WORK_REQUEST:
+            yield from self._charge(overhead)
+            yield from self._on_work_request(message)
+        elif mtype is MessageType.TASK_RESULT:
+            yield from self._charge(overhead)
+            yield from self._on_task_result(message)
+        elif mtype is MessageType.RESULT_PULL:
+            yield from self._charge(overhead)
+            yield from self._on_result_pull(message)
+        elif mtype is MessageType.CLIENT_SYNC:
+            yield from self._charge(overhead)
+            yield from self._on_client_sync(message)
+        elif mtype is MessageType.SERVER_SYNC:
+            yield from self._charge(overhead)
+            yield from self._on_server_sync(message)
+        elif mtype is MessageType.REPLICA_STATE:
+            yield from self._on_replica_state(message)
+        elif mtype is MessageType.REPLICA_ACK:
+            self._on_replica_ack(message)
+        elif mtype is MessageType.SERVER_HEARTBEAT:
+            self._on_server_heartbeat(message)
+        elif mtype is MessageType.CLIENT_HEARTBEAT:
+            pass  # nothing to do beyond receiving it
+        elif mtype is MessageType.COORD_HEARTBEAT:
+            self.coordinator_detector.heard_from(message.source, self.env.now)
+            self.registry.rehabilitate(message.source)
+        elif mtype is MessageType.ARCHIVE_FETCH:
+            yield from self._on_archive_fetch(message)
+        elif mtype is MessageType.ARCHIVE_REPLY:
+            yield from self._on_archive_reply(message)
+        elif mtype is MessageType.PING:
+            self.host.send(message.reply(MessageType.PONG))
+        # Unknown types are ignored (forward compatibility).
+
+    def _hear_server(self, server: Address) -> None:
+        self.known_servers.add(server)
+        self.server_detector.watch(server, self.env.now)
+        self.server_detector.heard_from(server, self.env.now)
+
+    def _on_server_heartbeat(self, message: Message) -> None:
+        self._hear_server(message.source)
+        working_on = message.payload.get("working_on")
+        if working_on is not None:
+            self._task_activity[tuple(working_on)] = self.env.now
+
+    # ------------------------------------------------------------ client requests
+    def _on_submit(self, message: Message):
+        call = CallDescription.from_payload(message.payload["call"])
+        key = identity_to_key(call.identity)
+        timestamp = int(message.payload.get("timestamp", call.identity.rpc.value))
+        session_key = (call.identity.user.value, call.identity.session.value)
+        if timestamp > self.client_timestamps.get(session_key, 0):
+            self.client_timestamps[session_key] = timestamp
+
+        if key not in self.tasks:
+            record = TaskRecord(
+                call=call,
+                state=TaskState.PENDING,
+                owner=self.name,
+                submitted_at=self.env.now,
+            )
+            self.tasks[key] = record
+            self._dirty.add(key)
+            cost = self.database.charge_write(
+                key, {"state": record.state.value}, TASK_DESCRIPTION_BYTES + call.params_bytes
+            )
+            yield from self._charge(cost)
+            self.monitor.incr("coordinator.submissions")
+        else:
+            self.monitor.incr("coordinator.duplicate_submissions")
+
+        self.host.send(
+            message.reply(
+                MessageType.SUBMIT_ACK,
+                payload={"timestamp": timestamp},
+                size_bytes=32,
+            )
+        )
+
+    def _on_result_pull(self, message: Message):
+        user, session = message.payload.get("session", ("", ""))
+        pending = message.payload.get("pending")
+        wanted = {int(ts) for ts in pending} if pending is not None else None
+        ready: list[dict[str, Any]] = []
+        total_bytes = 0
+        for key, result in self.results.items():
+            if key[0] != user or key[1] != session:
+                continue
+            if wanted is not None and key[2] not in wanted:
+                continue
+            ready.append(result.to_payload())
+            total_bytes += result.size_bytes
+        # Completions we only know through replication: fetch their archives
+        # from the coordinator that produced/holds them, so a later pull can
+        # deliver them (archives are never replicated proactively).
+        for key, task in self.tasks.items():
+            if key[0] != user or key[1] != session:
+                continue
+            if wanted is not None and key[2] not in wanted:
+                continue
+            if task.state is TaskState.FINISHED and key not in self.results:
+                self._request_archive(key, task)
+        yield from self._charge(self.database.charge_scan())
+        if total_bytes:
+            # Result archives live on the coordinator's file system: shipping
+            # them back costs a read proportional to their size.
+            yield from self.host.disk_read(total_bytes)
+        self.host.send(
+            message.reply(
+                MessageType.RESULT_REPLY,
+                payload={"results": ready},
+                size_bytes=total_bytes,
+            )
+        )
+
+    def _on_client_sync(self, message: Message):
+        user, session = message.payload.get("session", ("", ""))
+        durable_keys = [int(k) for k in message.payload.get("durable_keys", [])]
+        known = [
+            key[2]
+            for key in self.tasks
+            if key[0] == user and key[1] == session
+        ]
+        finished = [
+            key[2]
+            for key, task in self.tasks.items()
+            if key[0] == user and key[1] == session and task.state is TaskState.FINISHED
+        ]
+        yield from self._charge(self.database.charge_scan())
+        plan = plan_client_sync(durable_keys, known, finished)
+        session_key = (user, session)
+        max_ts = int(message.payload.get("max_timestamp", 0))
+        if max_ts > self.client_timestamps.get(session_key, 0):
+            self.client_timestamps[session_key] = max_ts
+        self.host.send(
+            message.reply(
+                MessageType.COORD_SYNC_REPLY,
+                payload={
+                    "kind": "client",
+                    "client_must_resend": plan.client_must_resend,
+                    "client_lost": plan.client_lost,
+                    "results_available": plan.results_available,
+                    "coordinator_max_timestamp": max(
+                        plan.coordinator_max_timestamp,
+                        self.client_timestamps.get(session_key, 0),
+                    ),
+                },
+                size_bytes=64
+                + 8 * (len(plan.client_must_resend) + len(plan.client_lost)),
+            )
+        )
+        self.monitor.incr("coordinator.client_syncs")
+
+    # ------------------------------------------------------------- server requests
+    def _on_work_request(self, message: Message):
+        server = message.source
+        self._hear_server(server)
+        yield from self._charge(self.database.charge_scan())
+        decision = self.scheduler.pick(
+            self.tasks,
+            server=server,
+            my_name=self.name,
+            owner_suspected=self._owner_suspected,
+            now=self.env.now,
+        )
+        if decision.task is None:
+            self.host.send(message.reply(MessageType.NO_WORK, payload={}, size_bytes=16))
+            return
+        task = decision.task
+        key = identity_to_key(task.identity)
+        self._dirty.add(key)
+        self._task_activity[key] = self.env.now
+        cost = self.database.charge_write(
+            key, {"state": task.state.value}, TASK_DESCRIPTION_BYTES
+        )
+        yield from self._charge(cost)
+        self.monitor.incr("coordinator.assignments")
+        self.host.send(
+            message.reply(
+                MessageType.TASK_ASSIGN,
+                payload={"call": task.call.to_payload()},
+                size_bytes=task.call.wire_bytes,
+            )
+        )
+
+    def _on_task_result(self, message: Message):
+        server = message.source
+        self._hear_server(server)
+        result = ResultRecord.from_payload(message.payload["result"])
+        key = identity_to_key(result.identity)
+        task = self.tasks.get(key)
+        newly_finished = False
+        if task is None:
+            # A result for a call we never saw (e.g. assigned by another
+            # coordinator before a partition): register it anyway.
+            task = TaskRecord(
+                call=CallDescription.from_payload(message.payload["call"])
+                if "call" in message.payload
+                else CallDescription(
+                    identity=result.identity,
+                    service=message.payload.get("service", "unknown"),
+                    params_bytes=0,
+                ),
+                state=TaskState.FINISHED,
+                owner=self.name,
+                submitted_at=self.env.now,
+            )
+            self.tasks[key] = task
+            newly_finished = True
+        elif task.state is not TaskState.FINISHED:
+            newly_finished = True
+        task.state = TaskState.FINISHED
+        task.finished_at = self.env.now
+        task.has_archive = True
+        task.archive_holder = self.name
+        task.assigned_server = server
+        if key not in self.results:
+            self.results[key] = result
+        self._dirty.add(key)
+        cost = self.database.charge_write(key, {"state": "finished"}, TASK_DESCRIPTION_BYTES)
+        yield from self._charge(cost)
+        # Storing the archive costs a disk write proportional to its size.
+        yield from self.host.disk_write(result.size_bytes)
+        if newly_finished:
+            self.monitor.incr("coordinator.results")
+            self._sample_completed()
+        else:
+            self.monitor.incr("coordinator.duplicate_results")
+        self.host.send(
+            message.reply(
+                MessageType.TASK_RESULT_ACK,
+                payload={"identity": identity_to_key(result.identity)},
+                size_bytes=32,
+            )
+        )
+
+    def _on_server_sync(self, message: Message):
+        server = message.source
+        self._hear_server(server)
+        server_keys = [tuple(k) for k in message.payload.get("result_keys", [])]
+        finished = [k for k, t in self.tasks.items() if t.state is TaskState.FINISHED]
+        assigned = [
+            k
+            for k, t in self.tasks.items()
+            if t.state is TaskState.ONGOING and t.assigned_server == server
+        ]
+        yield from self._charge(self.database.charge_scan())
+        plan = plan_server_sync(server_keys, finished, assigned)
+        for key in plan.coordinator_must_requeue:
+            task = self.tasks.get(tuple(key))
+            if task is not None and task.state is TaskState.ONGOING:
+                task.state = TaskState.PENDING
+                task.assigned_server = None
+                self._dirty.add(tuple(key))
+        self.host.send(
+            message.reply(
+                MessageType.COORD_SYNC_REPLY,
+                payload={
+                    "kind": "server",
+                    "server_must_resend": [list(k) for k in plan.server_must_resend],
+                    "already_finished": [list(k) for k in plan.already_finished],
+                },
+                size_bytes=64 + 16 * len(server_keys),
+            )
+        )
+        self.monitor.incr("coordinator.server_syncs")
+
+    # ----------------------------------------------------------- archives on demand
+    def _request_archive(self, key: tuple, task: TaskRecord) -> None:
+        last_attempt = self._archive_fetches_in_flight.get(key)
+        retry_after = 2 * self.config.detection.heartbeat_period
+        if last_attempt is not None and self.env.now - last_attempt < retry_after:
+            return
+        # Ask the coordinator that received the archive first, then the task's
+        # owner, then anybody else; rotate on retries so a wrong or crashed
+        # first choice cannot wedge the fetch forever.
+        preferred_names = [task.archive_holder, task.owner]
+        candidates = [
+            c for name in preferred_names for c in self.other_coordinators() if str(c) == name
+        ]
+        candidates += [c for c in self.other_coordinators() if c not in candidates]
+        if not candidates:
+            return
+        attempts = self._archive_fetch_attempts.get(key, 0)
+        self._archive_fetch_attempts[key] = attempts + 1
+        target = candidates[attempts % len(candidates)]
+        self._archive_fetches_in_flight[key] = self.env.now
+        self.host.send(
+            Message(
+                mtype=MessageType.ARCHIVE_FETCH,
+                source=self.address,
+                dest=target,
+                payload={"identity": list(key)},
+                size_bytes=32,
+            )
+        )
+        self.monitor.incr("coordinator.archive_fetches")
+
+    def _on_archive_fetch(self, message: Message):
+        key = tuple(message.payload.get("identity", ()))
+        result = self.results.get(key)
+        if result is None:
+            self.host.send(
+                message.reply(
+                    MessageType.ARCHIVE_REPLY,
+                    payload={"identity": list(key), "missing": True},
+                    size_bytes=16,
+                )
+            )
+            return
+        yield from self.host.disk_read(result.size_bytes)
+        self.host.send(
+            message.reply(
+                MessageType.ARCHIVE_REPLY,
+                payload={"identity": list(key), "result": result.to_payload()},
+                size_bytes=result.size_bytes,
+            )
+        )
+
+    def _on_archive_reply(self, message: Message):
+        key = tuple(message.payload.get("identity", ()))
+        self._archive_fetches_in_flight.pop(key, None)
+        if message.payload.get("missing"):
+            return
+        result = ResultRecord.from_payload(message.payload["result"])
+        if key not in self.results:
+            self.results[key] = result
+            yield from self.host.disk_write(result.size_bytes)
+            task = self.tasks.get(key)
+            if task is not None:
+                task.has_archive = True
+
+    # --------------------------------------------------------------- replication
+    def _replication_loop(self):
+        try:
+            while True:
+                yield self.host.sleep(self.config.replication.period)
+                yield from self.replicate_once()
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+    def replicate_once(self, force_full: bool = False):
+        """One replication round: push (dirty) state to the ring successor.
+
+        Generator returning ``True`` when the successor acknowledged.  Also
+        doubles as the coordinator-to-coordinator heart-beat.
+        """
+        successor = self.registry.ring_successor(self.address)
+        if successor is None:
+            return False
+        keys = None if force_full else set(self._dirty)
+        state = build_state(
+            origin=self.name,
+            tasks=self.tasks,
+            client_timestamps=self.client_timestamps,
+            known_coordinators=[(c.kind, c.name) for c in self.registry.known()],
+            only_keys=keys,
+            now=self.env.now,
+        )
+        round_id = self._replication_rounds
+        self._replication_rounds += 1
+        ack_event = self.env.event()
+        self._replica_ack_waiters[round_id] = ack_event
+        self.host.send(
+            Message(
+                mtype=MessageType.REPLICA_STATE,
+                source=self.address,
+                dest=successor,
+                payload={"state": state.to_payload(), "round": round_id},
+                size_bytes=state.size_bytes,
+            )
+        )
+        self.monitor.incr("coordinator.replications")
+        expiry = self.env.timeout(self.config.detection.suspicion_timeout)
+        yield self.env.any_of([ack_event, expiry])
+        self._replica_ack_waiters.pop(round_id, None)
+        if ack_event.triggered:
+            self.coordinator_detector.heard_from(successor, self.env.now)
+            if keys is not None:
+                self._dirty -= keys
+            else:
+                self._dirty.clear()
+            return True
+        # No acknowledgement: suspect the successor and recompute the ring.
+        self.registry.suspect(successor)
+        self.coordinator_detector.watch(successor, self.env.now - 2 * self.config.detection.suspicion_timeout)
+        self.monitor.incr("coordinator.replication_timeouts")
+        return False
+
+    def _on_replica_state(self, message: Message):
+        state = ReplicaState.from_payload(message.payload["state"])
+        outcome = merge_state(
+            self.tasks,
+            self.client_timestamps,
+            state,
+            key_of=lambda record: identity_to_key(record.identity),
+        )
+        # The backup pays one database write per new or updated description —
+        # this is what dominates Figure 5 for small records.
+        for _ in range(outcome.new_tasks + outcome.updated_tasks):
+            cost = self.database.charge_write(
+                ("replica", self._replication_rounds, _), {}, TASK_DESCRIPTION_BYTES
+            )
+            yield from self._charge(cost)
+        self.registry.merge([Address(kind, name) for kind, name in state.known_coordinators])
+        self.coordinator_detector.heard_from(message.source, self.env.now)
+        self.registry.rehabilitate(message.source)
+        # Everything we learned must keep flowing around the ring, otherwise
+        # coordinators two hops away from the origin would never hear of it.
+        for key in [identity_to_key(i) for i in outcome.changed]:
+            self._dirty.add(key)
+        if outcome.newly_finished:
+            self.monitor.incr(
+                "coordinator.replicated_completions", len(outcome.newly_finished)
+            )
+            self._sample_completed()
+        self.host.send(
+            message.reply(
+                MessageType.REPLICA_ACK,
+                payload={"round": message.payload.get("round", -1)},
+                size_bytes=16,
+            )
+        )
+
+    def _on_replica_ack(self, message: Message) -> None:
+        round_id = int(message.payload.get("round", -1))
+        waiter = self._replica_ack_waiters.pop(round_id, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(True)
+        self.coordinator_detector.heard_from(message.source, self.env.now)
+
+    # ----------------------------------------------------------- server suspicion
+    def _server_watch_loop(self):
+        try:
+            while True:
+                yield self.host.sleep(self.config.detection.heartbeat_period)
+                now = self.env.now
+                # "On suspicion" replication: re-queue every ongoing task of a
+                # server that has gone silent.
+                for server in list(self.known_servers):
+                    if self.server_detector.is_suspected(server, now):
+                        reset = self.scheduler.reschedule_for_suspected_server(
+                            self.tasks, server, self.name
+                        )
+                        if reset:
+                            for record in reset:
+                                self._dirty.add(identity_to_key(record.identity))
+                            self.monitor.incr(
+                                "coordinator.rescheduled_on_suspicion", len(reset)
+                            )
+                # Per-task activity timeout: a server that crashed and came
+                # back keeps the heart-beat alive but stops reporting the lost
+                # task, so suspicion alone would never recover it.
+                timeout = self.config.detection.suspicion_timeout
+                for key, task in self.tasks.items():
+                    if task.state is not TaskState.ONGOING or task.owner != self.name:
+                        continue
+                    last_activity = self._task_activity.get(
+                        key, task.started_at if task.started_at is not None else now
+                    )
+                    if now - last_activity > timeout:
+                        task.state = TaskState.PENDING
+                        task.assigned_server = None
+                        self._dirty.add(key)
+                        self.monitor.incr("coordinator.requeued_on_activity_timeout")
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+    # ------------------------------------------------------------------ reporting
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of coordinator counters (experiments / tests)."""
+        states = {state: 0 for state in TaskState}
+        for task in self.tasks.values():
+            states[task.state] += 1
+        return {
+            "tasks": len(self.tasks),
+            "pending": states[TaskState.PENDING],
+            "ongoing": states[TaskState.ONGOING],
+            "finished": states[TaskState.FINISHED],
+            "results_held": len(self.results),
+            "known_servers": len(self.known_servers),
+            "db_writes": self.database.writes,
+            "db_time": self.database.time_charged,
+            "dirty": len(self._dirty),
+        }

@@ -1,0 +1,180 @@
+"""Passive replication of coordinator state over the virtual ring.
+
+Each coordinator periodically sends "an abstract of its state to the successor
+in the list"; if the successor does not acknowledge, it is suspected, the
+local list is updated and the next coordinator is contacted.  The state
+abstract contains job/task descriptions (including the call parameters needed
+to re-execute them) and the maximum known client timestamps — but **not** the
+result file archives, which are never replicated.
+
+This module is pure data manipulation (building and merging state abstracts);
+the sending/acknowledging machinery lives in the coordinator component so the
+timing behaviour is visible to the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.protocol import TASK_DESCRIPTION_BYTES, TaskRecord
+from repro.types import TaskState
+
+__all__ = ["ReplicaState", "MergeOutcome", "build_state", "merge_state", "state_precedence"]
+
+#: ordering used when merging conflicting task states.
+_PRECEDENCE = {TaskState.PENDING: 0, TaskState.ONGOING: 1, TaskState.FINISHED: 2}
+
+
+def state_precedence(state: TaskState) -> int:
+    """Merge precedence of a task state (finished beats ongoing beats pending)."""
+    return _PRECEDENCE[state]
+
+
+@dataclass
+class ReplicaState:
+    """One state abstract, as propagated to the ring successor."""
+
+    origin: str
+    entries: list[dict[str, Any]] = field(default_factory=list)
+    #: max known client timestamp per (user, session).
+    client_timestamps: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: coordinator list piggy-backed for registry merging.
+    known_coordinators: list[tuple[str, str]] = field(default_factory=list)
+    sent_at: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of the abstract on the wire.
+
+        Every task contributes its description; tasks that still need to be
+        (re)executable at the backup also carry their parameters.  Results are
+        never included.
+        """
+        total = 0
+        for entry in self.entries:
+            total += TASK_DESCRIPTION_BYTES
+            if entry["state"] != TaskState.FINISHED.value:
+                total += int(entry["call"]["params_bytes"])
+        total += 64 * len(self.client_timestamps)
+        total += 32 * len(self.known_coordinators)
+        return total
+
+    def to_payload(self) -> dict[str, Any]:
+        """Dictionary form carried in REPLICA_STATE messages."""
+        return {
+            "origin": self.origin,
+            "entries": [dict(e) for e in self.entries],
+            "client_timestamps": {
+                f"{u}//{s}": ts for (u, s), ts in self.client_timestamps.items()
+            },
+            "known_coordinators": list(self.known_coordinators),
+            "sent_at": self.sent_at,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ReplicaState":
+        """Rebuild a state abstract from its dictionary form."""
+        timestamps: dict[tuple[str, str], int] = {}
+        for key, value in payload.get("client_timestamps", {}).items():
+            user, session = key.split("//", 1)
+            timestamps[(user, session)] = int(value)
+        return cls(
+            origin=payload["origin"],
+            entries=[dict(e) for e in payload.get("entries", [])],
+            client_timestamps=timestamps,
+            known_coordinators=[tuple(c) for c in payload.get("known_coordinators", [])],
+            sent_at=float(payload.get("sent_at", 0.0)),
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class MergeOutcome:
+    """What applying one state abstract changed at the receiving coordinator."""
+
+    new_tasks: int = 0
+    updated_tasks: int = 0
+    newly_finished: list = field(default_factory=list)
+    #: identities of every task added or whose state advanced (these must be
+    #: propagated further around the ring by the receiver).
+    changed: list = field(default_factory=list)
+    timestamps_advanced: int = 0
+
+
+def build_state(
+    origin: str,
+    tasks: dict[Any, TaskRecord],
+    client_timestamps: dict[tuple[str, str], int],
+    known_coordinators: list[tuple[str, str]],
+    only_keys: set[Any] | None = None,
+    now: float = 0.0,
+) -> ReplicaState:
+    """Build the state abstract for the given tasks.
+
+    ``only_keys`` restricts the abstract to an incremental set (the dirty
+    tasks since the last acknowledged propagation); ``None`` means full state.
+    """
+    entries = []
+    for key, record in tasks.items():
+        if only_keys is not None and key not in only_keys:
+            continue
+        entries.append(record.to_replica_entry())
+    return ReplicaState(
+        origin=origin,
+        entries=entries,
+        client_timestamps=dict(client_timestamps),
+        known_coordinators=list(known_coordinators),
+        sent_at=now,
+    )
+
+
+def merge_state(
+    tasks: dict[Any, TaskRecord],
+    client_timestamps: dict[tuple[str, str], int],
+    state: ReplicaState,
+    key_of: Any,
+) -> MergeOutcome:
+    """Merge an incoming state abstract into the local task table.
+
+    ``key_of`` maps a :class:`TaskRecord` to its table key (the identity
+    tuple).  Conflicts are resolved by state precedence: a finished task never
+    goes back to ongoing/pending, an ongoing task never goes back to pending.
+    Returns what changed, including the identities that became finished (used
+    by the completed-task curves of Figures 9-11).
+    """
+    outcome = MergeOutcome()
+    for entry in state.entries:
+        incoming = TaskRecord.from_replica_entry(entry)
+        key = key_of(incoming)
+        existing = tasks.get(key)
+        if existing is None:
+            tasks[key] = incoming
+            outcome.new_tasks += 1
+            outcome.changed.append(incoming.identity)
+            if incoming.state is TaskState.FINISHED:
+                outcome.newly_finished.append(incoming.identity)
+            continue
+        if state_precedence(incoming.state) > state_precedence(existing.state):
+            became_finished = (
+                incoming.state is TaskState.FINISHED
+                and existing.state is not TaskState.FINISHED
+            )
+            existing.state = incoming.state
+            existing.owner = incoming.owner
+            existing.assigned_server = incoming.assigned_server
+            existing.attempts = max(existing.attempts, incoming.attempts)
+            existing.finished_at = incoming.finished_at
+            if incoming.archive_holder:
+                existing.archive_holder = incoming.archive_holder
+            outcome.updated_tasks += 1
+            outcome.changed.append(existing.identity)
+            if became_finished:
+                outcome.newly_finished.append(existing.identity)
+    for key, timestamp in state.client_timestamps.items():
+        if timestamp > client_timestamps.get(key, 0):
+            client_timestamps[key] = timestamp
+            outcome.timestamps_advanced += 1
+    return outcome

@@ -1,0 +1,302 @@
+"""The RPC-V server (worker) component.
+
+Servers pull work from their preferred coordinator, execute it, archive the
+result on local disk (the archive *is* the server log, so server-side logging
+is "necessarily pessimistic"), then upload the archive and wait for the
+acknowledgement.  The connection-less protocol means the same server "may
+disconnect the coordinator, continue the execution and re-connect the
+coordinator later for sending RPC results" — off-line computing — which the
+component implements by resynchronising its unacknowledged results whenever it
+(re)connects or switches coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import ServerConfig
+from repro.core.protocol import CallDescription, ResultRecord, identity_to_key
+from repro.core.registry import CoordinatorRegistry
+from repro.core.services import ServiceRegistry, default_registry
+from repro.detect import FailureDetector, HeartbeatEmitter
+from repro.msglog import MessageLog
+from repro.net.message import Message, MessageType
+from repro.nodes.node import Host
+from repro.sim.core import Event, ProcessKilled
+from repro.sim.monitor import Monitor
+from repro.types import Address
+
+__all__ = ["ServerComponent"]
+
+
+class ServerComponent:
+    """One worker of the desktop grid."""
+
+    def __init__(
+        self,
+        host: Host,
+        registry: CoordinatorRegistry,
+        config: ServerConfig | None = None,
+        services: ServiceRegistry | None = None,
+        monitor: Monitor | None = None,
+    ) -> None:
+        self.host = host
+        self.env = host.env
+        self.registry = registry
+        self.config = config or ServerConfig()
+        self.config.validate()
+        self.services = services or default_registry()
+        self.monitor = monitor or host.monitor
+        self.name = str(host.address)
+
+        # Volatile state (rebuilt by start()).
+        self.result_log: MessageLog
+        self.detector: FailureDetector
+        self.executed_count = 0
+        self.current_task: CallDescription | None = None
+        self._reply_waiters: list[tuple[set[MessageType], Event]] = []
+        self.started = False
+        self._heartbeat: HeartbeatEmitter | None = None
+
+        host.on_restart(lambda _host: self.start())
+
+    # ------------------------------------------------------------------ setup
+    def start(self) -> None:
+        """(Re)start the server loops; unacknowledged results are resynced."""
+        self.result_log = MessageLog(self.host, f"server:{self.host.address.name}")
+        self.detector = FailureDetector(self.config.detection)
+        self.current_task = None
+        self._reply_waiters = []
+        self.started = True
+        for coordinator in self.registry.known():
+            self.detector.watch(coordinator, self.env.now)
+        self.host.spawn(self._recv_loop(), name=f"{self.name}:recv")
+        self.host.spawn(self._work_loop(), name=f"{self.name}:work")
+        self._heartbeat = HeartbeatEmitter(
+            host=self.host,
+            config=self.config.detection,
+            mtype=MessageType.SERVER_HEARTBEAT,
+            targets=lambda: [self.preferred_coordinator()],
+            # The heart-beat reports which task (if any) the server is working
+            # on: the coordinator uses it to re-queue tasks whose execution was
+            # lost in a crash/restart it never got to observe directly.
+            payload=lambda: {
+                "working_on": (
+                    list(identity_to_key(self.current_task.identity))
+                    if self.current_task is not None
+                    else None
+                )
+            },
+        )
+        self._heartbeat.start()
+
+    @property
+    def address(self) -> Address:
+        """Network address of this server."""
+        return self.host.address
+
+    def preferred_coordinator(self) -> Address | None:
+        """The coordinator this server currently pulls work from."""
+        return self.registry.preferred()
+
+    # ------------------------------------------------------------------ messaging
+    def _recv_loop(self):
+        try:
+            while True:
+                message: Message = yield self.host.recv()
+                self._dispatch(message)
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+    def _dispatch(self, message: Message) -> None:
+        self.detector.heard_from(message.source, self.env.now)
+        self.registry.rehabilitate(message.source)
+        if message.mtype is MessageType.TASK_RESULT_ACK:
+            key = tuple(message.payload.get("identity", ()))
+            self.result_log.mark_acked(key)
+        # Wake up whichever request is waiting for this kind of reply.
+        for index, (expected, waiter) in enumerate(list(self._reply_waiters)):
+            if message.mtype in expected and not waiter.triggered:
+                self._reply_waiters.pop(index)
+                waiter.succeed(message)
+                break
+
+    def _request(self, message: Message, expected: set[MessageType], timeout: float):
+        """Send ``message`` and wait for one of ``expected`` (or time out).
+
+        Generator returning the reply message or ``None`` on timeout.
+        """
+        waiter = self.env.event()
+        self._reply_waiters.append((expected, waiter))
+        self.host.send(message)
+        expiry = self.env.timeout(timeout)
+        yield self.env.any_of([waiter, expiry])
+        if waiter.triggered:
+            return waiter.value
+        if (expected, waiter) in self._reply_waiters:
+            self._reply_waiters.remove((expected, waiter))
+        return None
+
+    def _after_timeout(self, coordinator: Address) -> None:
+        """Switch coordinator when the silence exceeds the suspicion timeout."""
+        silence = self.detector.silence(coordinator, self.env.now)
+        if silence > self.config.detection.suspicion_timeout:
+            previous = coordinator
+            new = self.registry.switch_preferred(away_from=coordinator)
+            if new is not None and new != previous:
+                self.monitor.incr("server.coordinator_switches")
+                self.monitor.trace(
+                    self.env.now,
+                    "server-switch",
+                    server=self.name,
+                    from_coordinator=str(previous),
+                    to_coordinator=str(new),
+                )
+                self.host.spawn(
+                    self._sync_with(new), name=f"{self.name}:sync"
+                )
+
+    # ------------------------------------------------------------------ work loop
+    def _work_loop(self):
+        try:
+            # Resynchronise with the coordinator on every (re)connection: the
+            # peer-wise log comparison tells it which results we still hold
+            # and lets it re-queue tasks it believed we were running.
+            yield from self._sync_with(self.preferred_coordinator())
+            while True:
+                coordinator = self.preferred_coordinator()
+                if coordinator is None:
+                    yield self.host.sleep(self.config.work_poll_period)
+                    continue
+                reply = yield from self._request(
+                    Message(
+                        mtype=MessageType.WORK_REQUEST,
+                        source=self.address,
+                        dest=coordinator,
+                        payload={"slots": self.config.slots},
+                        size_bytes=64,
+                    ),
+                    expected={MessageType.TASK_ASSIGN, MessageType.NO_WORK},
+                    timeout=self.config.request_retry,
+                )
+                if reply is None:
+                    self.monitor.incr("server.request_timeouts")
+                    self._after_timeout(coordinator)
+                    continue
+                if reply.mtype is MessageType.NO_WORK:
+                    yield self.host.sleep(self.config.work_poll_period)
+                    continue
+                call = CallDescription.from_payload(reply.payload["call"])
+                yield from self._execute(call)
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+    def _execute(self, call: CallDescription):
+        """Run one task, archive its result, upload it until acknowledged."""
+        self.current_task = call
+        spec = self.services.get(call.service) if self.services.has(call.service) else None
+        exec_time = call.exec_time
+        if exec_time is None:
+            exec_time = spec.default_exec_time if spec else 1.0
+        result_bytes = call.result_bytes or (spec.default_result_bytes if spec else 128)
+
+        value: Any = None
+        started = self.env.now
+        if exec_time > 0:
+            yield self.host.sleep(exec_time)
+        if spec is not None and spec.fn is not None:
+            value = spec.execute(call.args)
+
+        result = ResultRecord(
+            identity=call.identity,
+            size_bytes=result_bytes,
+            produced_by=self.address,
+            produced_at=self.env.now,
+            value=value,
+            meta={"exec_time": self.env.now - started},
+        )
+        key = identity_to_key(call.identity)
+        # The archive of new/modified files is the server's log: write it to
+        # disk synchronously (pessimistic by construction) before uploading.
+        if key not in self.result_log:
+            self.result_log.append(key, result.to_payload(), result_bytes)
+        yield from self.host.disk_write(result_bytes)
+        if not self.result_log.get(key).durable:
+            self.result_log.mark_durable(key)
+
+        self.executed_count += 1
+        self.monitor.incr("server.tasks_executed")
+        self.current_task = None
+        yield from self._upload_result(result)
+
+    def _upload_result(self, result: ResultRecord):
+        """Send a result until some coordinator acknowledges it."""
+        key = identity_to_key(result.identity)
+        while True:
+            record = self.result_log.get(key)
+            if record is not None and record.acked:
+                return
+            coordinator = self.preferred_coordinator()
+            if coordinator is None:
+                yield self.host.sleep(self.config.work_poll_period)
+                continue
+            reply = yield from self._request(
+                Message(
+                    mtype=MessageType.TASK_RESULT,
+                    source=self.address,
+                    dest=coordinator,
+                    payload={"result": result.to_payload()},
+                    size_bytes=result.size_bytes,
+                ),
+                expected={MessageType.TASK_RESULT_ACK},
+                timeout=self.config.request_retry,
+            )
+            if reply is not None:
+                self.result_log.mark_acked(key)
+                self.monitor.incr("server.results_uploaded")
+                return
+            self.monitor.incr("server.result_upload_retries")
+            self._after_timeout(coordinator)
+
+    # ------------------------------------------------------------------ sync
+    def _sync_with(self, coordinator: Address | None):
+        """Peer-wise log comparison with ``coordinator``; resend what it lacks."""
+        if coordinator is None:
+            return None
+        unacked = self.result_log.unacked_durable()
+        yield from self.host.disk_read(max(sum(r.size_bytes for r in unacked), 64))
+        reply = yield from self._request(
+            Message(
+                mtype=MessageType.SERVER_SYNC,
+                source=self.address,
+                dest=coordinator,
+                payload={"result_keys": [list(r.key) for r in unacked]},
+                size_bytes=64 + 16 * len(unacked),
+            ),
+            expected={MessageType.COORD_SYNC_REPLY},
+            timeout=self.config.request_retry,
+        )
+        if reply is None:
+            self.monitor.incr("server.sync_timeouts")
+            return None
+        self.monitor.incr("server.syncs")
+        for key in reply.payload.get("already_finished", []):
+            self.result_log.mark_acked(tuple(key))
+        for key in reply.payload.get("server_must_resend", []):
+            record = self.result_log.get(tuple(key))
+            if record is None:
+                continue
+            result = ResultRecord.from_payload(record.payload)
+            yield from self._upload_result(result)
+        return reply.payload
+
+    # ------------------------------------------------------------------ reporting
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of server counters (experiments / tests)."""
+        return {
+            "executed": self.executed_count,
+            "unacked_results": len(self.result_log.unacked_durable()),
+            "log_records": len(self.result_log),
+            "busy": self.current_task is not None,
+            "preferred_coordinator": str(self.preferred_coordinator()),
+        }

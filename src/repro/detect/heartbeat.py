@@ -1,0 +1,81 @@
+"""Heart-beat emission.
+
+Connection-less interactions preclude using broken connections as a fault
+signal, so RPC-V relies on periodic "heart beat" messages.  The emitter is a
+small process fragment a component attaches to its host; the target list is a
+callable so that it always reflects the component's *current* preferred
+coordinator (which changes on suspicion) and so that piggy-backed payloads
+(coordinator list merges, state abstracts) are computed fresh at each beat.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.config import FaultDetectionConfig
+from repro.net.message import Message, MessageType
+from repro.nodes.node import Host
+from repro.sim.core import Process, ProcessKilled
+
+__all__ = ["HeartbeatEmitter"]
+
+
+class HeartbeatEmitter:
+    """Periodically sends heart-beat messages from a host to dynamic targets."""
+
+    def __init__(
+        self,
+        host: Host,
+        config: FaultDetectionConfig,
+        mtype: MessageType,
+        targets: Callable[[], Iterable],
+        payload: Callable[[], dict] | None = None,
+        jitter_fraction: float = 0.1,
+    ) -> None:
+        self.host = host
+        self.config = config
+        self.mtype = mtype
+        self.targets = targets
+        self.payload = payload or (lambda: {})
+        self.jitter_fraction = jitter_fraction
+        self.sent = 0
+        self._process: Process | None = None
+
+    def start(self) -> Process:
+        """Spawn the emission loop on the host (killed with the host)."""
+        self._process = self.host.spawn(self._run(), name=f"{self.host.address}:heartbeat")
+        return self._process
+
+    def _run(self):
+        rng = self.host.rng.stream(f"heartbeat.{self.host.address}")
+        period = self.config.heartbeat_period
+        # Desynchronise emitters so every component does not beat in lockstep.
+        initial = float(rng.uniform(0.0, period))
+        try:
+            yield self.host.sleep(initial)
+            while True:
+                self.beat_now()
+                jitter = float(rng.uniform(1.0 - self.jitter_fraction, 1.0 + self.jitter_fraction))
+                yield self.host.sleep(period * jitter)
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+    def beat_now(self) -> int:
+        """Send one round of heart-beats immediately; returns how many."""
+        count = 0
+        payload = dict(self.payload())
+        for target in self.targets():
+            if target is None or target == self.host.address:
+                continue
+            self.host.send(
+                Message(
+                    mtype=self.mtype,
+                    source=self.host.address,
+                    dest=target,
+                    payload=dict(payload),
+                    size_bytes=64,
+                )
+            )
+            count += 1
+        self.sent += count
+        return count

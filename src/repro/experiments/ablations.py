@@ -1,0 +1,129 @@
+"""Ablation experiments (not in the paper, motivated by DESIGN.md).
+
+* :func:`run_baseline_ablation` — what the RPC-V combination buys: the Fig. 7
+  workload under coordinator faults, comparing full RPC-V against the
+  baselines of :mod:`repro.baselines` (no coordinator replication, and a
+  NetSolve-style configuration with server-side fault tolerance only).
+* :func:`run_detector_ablation` — the heart-beat period / suspicion timeout
+  trade-off: detection latency versus wrong suspicions on a WAN-like link.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines import netsolve_style_protocol, no_fault_tolerance_protocol, rpcv_protocol
+from repro.config import FaultDetectionConfig
+from repro.detect import FailureDetector
+from repro.experiments.common import mean
+from repro.grid.runner import run_synthetic_benchmark
+from repro.sim.rng import RandomStreams
+from repro.types import Address
+
+__all__ = ["run_baseline_ablation", "run_detector_ablation"]
+
+
+def run_baseline_ablation(
+    faults_per_minute: float = 4.0,
+    fault_target: str = "coordinators",
+    seeds: tuple[int, ...] = (7, 11),
+    n_calls: int = 96,
+    exec_time: float = 10.0,
+    horizon: float = 4000.0,
+) -> list[dict[str, Any]]:
+    """Fig. 7 workload under faults, RPC-V vs the degraded baselines."""
+    systems = {
+        "rpc-v": rpcv_protocol(),
+        "no-replication": no_fault_tolerance_protocol(),
+        "netsolve-style": netsolve_style_protocol(),
+    }
+    rows: list[dict[str, Any]] = []
+    for name, protocol in systems.items():
+        makespans = []
+        completed = []
+        for seed in seeds:
+            report = run_synthetic_benchmark(
+                n_calls=n_calls,
+                exec_time=exec_time,
+                faults_per_minute=faults_per_minute,
+                fault_target=fault_target,  # type: ignore[arg-type]
+                fault_restart_delay=5.0,
+                protocol=protocol,
+                seed=seed,
+                horizon=horizon,
+            )
+            makespans.append(report.makespan)
+            completed.append(report.completed / max(report.submitted, 1))
+        rows.append(
+            {
+                "system": name,
+                "faults_per_minute": faults_per_minute,
+                "fault_target": fault_target,
+                "mean_makespan_seconds": mean(makespans),
+                "mean_completion_ratio": mean(completed),
+            }
+        )
+    return rows
+
+
+def run_detector_ablation(
+    heartbeat_periods: tuple[float, ...] = (1.0, 5.0, 15.0),
+    timeout_multipliers: tuple[float, ...] = (2.0, 6.0, 12.0),
+    message_loss: float = 0.02,
+    latency_sigma: float = 0.8,
+    observation_seconds: float = 3600.0,
+    crash_at: float = 1800.0,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Heart-beat tuning: detection latency vs wrong suspicions.
+
+    A single monitored peer emits heart-beats over a lossy, heavy-tailed link
+    and actually crashes at ``crash_at``.  For every (period, timeout) pair the
+    driver replays the same arrival trace through a
+    :class:`~repro.detect.FailureDetector` and reports how long the real crash
+    took to be suspected and how many wrong suspicions happened before it.
+    """
+    rng = RandomStreams(seed)
+    subject = Address("server", "watched")
+    rows: list[dict[str, Any]] = []
+    for period in heartbeat_periods:
+        # Generate the heart-beat arrival trace once per period.
+        arrivals: list[float] = []
+        t = 0.0
+        while t < crash_at:
+            t += period
+            if float(rng.stream(f"loss.{period}").random()) < message_loss:
+                continue  # heart-beat lost
+            delay = 0.05 * float(rng.stream(f"lat.{period}").lognormal(0.0, latency_sigma))
+            arrivals.append(t + delay)
+        arrivals.sort()
+        for multiplier in timeout_multipliers:
+            timeout = period * multiplier
+            detector = FailureDetector(
+                FaultDetectionConfig(heartbeat_period=period, suspicion_timeout=timeout)
+            )
+            detector.watch(subject, 0.0)
+            wrong = 0
+            detection_time = None
+            check_times = [i * period / 2 for i in range(int(observation_seconds * 2 / period))]
+            arrival_index = 0
+            for now in check_times:
+                while arrival_index < len(arrivals) and arrivals[arrival_index] <= now:
+                    detector.heard_from(subject, arrivals[arrival_index])
+                    arrival_index += 1
+                suspected = detector.is_suspected(subject, now)
+                if suspected and now < crash_at:
+                    wrong += 1
+                if suspected and now >= crash_at and detection_time is None:
+                    detection_time = now - crash_at
+            rows.append(
+                {
+                    "heartbeat_period": period,
+                    "suspicion_timeout": timeout,
+                    "wrong_suspicion_checks": wrong,
+                    "detection_latency_seconds": (
+                        detection_time if detection_time is not None else float("inf")
+                    ),
+                }
+            )
+    return rows

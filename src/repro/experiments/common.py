@@ -1,0 +1,46 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["format_rows", "print_rows", "mean"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty iterable)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def format_rows(rows: list[dict[str, Any]], title: str | None = None) -> str:
+    """Render rows as a fixed-width table (what the harness prints)."""
+    if not rows:
+        return f"{title or ''}\n(no data)"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def print_rows(rows: list[dict[str, Any]], title: str | None = None) -> None:
+    """Print rows as a table (used by benchmarks and examples)."""
+    print(format_rows(rows, title=title))
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)

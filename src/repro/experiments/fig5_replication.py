@@ -1,0 +1,144 @@
+"""EXP-F5 — Figure 5: coordinator replication time.
+
+Measures the time one coordinator needs to propagate its state abstract to
+its ring successor and receive the acknowledgement, on the confined cluster
+(solid curves) and across the Internet testbed (dashed curves):
+
+* left panel  — 16 RPCs, data size swept from ~100 B to 100 MB;
+* right panel — small (~300 B) task descriptions, count swept from 1 to 1000.
+
+Expected shape: flat, database-dominated times for small payloads (the backup
+pays one row write per description), linear growth once the data size exceeds
+~1 MB; linear growth with the number of descriptions; the Internet's reduced
+bandwidth separates the curves at large sizes while its faster database
+machines make the many-small-records case cheaper than the cluster's.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.config import ProtocolConfig
+from repro.core.protocol import CallDescription, TaskRecord
+from repro.core.protocol import identity_to_key
+from repro.grid.builder import Grid, build_confined_cluster, build_internet_testbed
+from repro.types import CallIdentity, RPCId, SessionId, TaskState, UserId
+from repro.workloads.sweep import geometric_counts, geometric_sizes
+
+__all__ = ["run_fig5_vs_size", "run_fig5_vs_count", "measure_replication_time"]
+
+_SEQ = itertools.count(1)
+
+
+def _build(environment: str, seed: int = 0) -> Grid:
+    protocol = ProtocolConfig()
+    protocol.coordinator.replication.enabled = False  # measured manually
+    # Keep unrelated traffic (work requests) out of the measurement, and do
+    # not let the ack wait be cut short by the suspicion timeout: bulk
+    # replications over the Internet legitimately take minutes (Fig. 5).
+    protocol.coordinator.request_processing_overhead = 0.01
+    protocol.coordinator.detection.suspicion_timeout = 50_000.0
+    protocol.server.work_poll_period = 10_000.0
+    if environment == "confined":
+        grid = build_confined_cluster(
+            n_servers=1, n_coordinators=2, protocol=protocol, seed=seed
+        )
+    elif environment == "internet":
+        grid = build_internet_testbed(
+            servers_per_site={"lille": 1},
+            coordinator_sites=("lille", "orsay"),
+            protocol=protocol,
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown environment {environment!r}")
+    grid.start()
+    return grid
+
+
+def _inject_tasks(grid: Grid, n_tasks: int, params_bytes: int) -> None:
+    """Register ``n_tasks`` pending tasks directly on the first coordinator."""
+    coordinator = grid.coordinators[0]
+    for index in range(n_tasks):
+        identity = CallIdentity(
+            user=UserId("bench"),
+            session=SessionId(f"fig5-{next(_SEQ)}"),
+            rpc=RPCId(index + 1),
+        )
+        call = CallDescription(
+            identity=identity,
+            service="sleep",
+            params_bytes=params_bytes,
+            result_bytes=64,
+            exec_time=1.0,
+        )
+        key = identity_to_key(identity)
+        record = TaskRecord(
+            call=call, state=TaskState.PENDING, owner=coordinator.name,
+            submitted_at=grid.env.now,
+        )
+        coordinator.tasks[key] = record
+        coordinator._dirty.add(key)
+        coordinator.database.charge_write(key, {"state": "pending"}, params_bytes)
+
+
+def measure_replication_time(
+    environment: str, n_tasks: int, params_bytes: int, seed: int = 0
+) -> float:
+    """Time for one full replication round (state push + backup ack)."""
+    grid = _build(environment, seed=seed)
+    _inject_tasks(grid, n_tasks, params_bytes)
+    coordinator = grid.coordinators[0]
+    host = grid.host_of(coordinator)
+    timings: dict[str, float] = {}
+
+    def driver():
+        timings["start"] = grid.env.now
+        ok = yield from coordinator.replicate_once(force_full=True)
+        timings["ok"] = float(bool(ok))
+        timings["end"] = grid.env.now
+
+    process = host.spawn(driver(), name="fig5-driver")
+    grid.run_until(process, timeout=10_000.0)
+    if not timings.get("ok"):
+        return float("nan")
+    return timings["end"] - timings["start"]
+
+
+def run_fig5_vs_size(
+    sizes: list[int] | None = None,
+    n_tasks: int = 16,
+    environments: tuple[str, ...] = ("confined", "internet"),
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Left panel of Figure 5: replication time vs RPC data size."""
+    sizes = sizes or geometric_sizes()
+    rows: list[dict[str, Any]] = []
+    for size in sizes:
+        row: dict[str, Any] = {"params_bytes": size, "n_tasks": n_tasks}
+        for environment in environments:
+            row[environment] = measure_replication_time(
+                environment, n_tasks=n_tasks, params_bytes=size, seed=seed
+            )
+        rows.append(row)
+    return rows
+
+
+def run_fig5_vs_count(
+    counts: list[int] | None = None,
+    params_bytes: int = 300,
+    environments: tuple[str, ...] = ("confined", "internet"),
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Right panel of Figure 5: replication time vs number of task descriptions."""
+    counts = counts or geometric_counts()
+    rows: list[dict[str, Any]] = []
+    for count in counts:
+        row: dict[str, Any] = {"n_tasks": count, "params_bytes": params_bytes}
+        for environment in environments:
+            row[environment] = measure_replication_time(
+                environment, n_tasks=count, params_bytes=params_bytes, seed=seed
+            )
+        rows.append(row)
+    return rows

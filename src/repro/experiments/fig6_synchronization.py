@@ -1,0 +1,221 @@
+"""EXP-F6 — Figure 6: client/coordinator synchronization time.
+
+Compares the two directions of the crash-recovery synchronization:
+
+* **using client logs only** — the coordinator lost its registrations (fresh
+  coordinator); the client rebuilds the coordinator's state by reading its
+  local log list and pushing the missing submissions;
+* **using coordinator logs only** — the client lost its log (optimistic crash
+  window, or a re-launched client on another machine); it must first retrieve
+  the list of registered calls from the coordinator (an extra round trip) and
+  then pull back their data.
+
+Expected shape: rebuilding from the client's logs is several times faster at
+small sizes/counts (one local disk access versus an extra request/reply on
+the loaded coordinator); the gap narrows as the data volume grows and the
+transfer time dominates both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import ProtocolConfig
+from repro.core.protocol import CallDescription
+from repro.grid.builder import Grid, build_confined_cluster
+from repro.net.message import Message, MessageType
+from repro.workloads.sweep import geometric_counts, geometric_sizes
+from repro.workloads.synthetic import SyntheticWorkload
+
+__all__ = ["run_fig6_vs_size", "run_fig6_vs_calls", "measure_sync_time"]
+
+
+def _build(seed: int = 0, quiet: bool = True) -> Grid:
+    protocol = ProtocolConfig()
+    protocol.coordinator.replication.enabled = False
+    if quiet:
+        # The client-logs direction is measured in isolation: silence the
+        # periodic result polls (issued explicitly by the driver instead) and
+        # the idle servers' work requests.  The coordinator-logs direction
+        # needs both to run its warm-up workload.
+        protocol.client.result_poll_period = 10_000.0
+        protocol.server.work_poll_period = 10_000.0
+    grid = build_confined_cluster(
+        n_servers=2, n_coordinators=1, protocol=protocol, seed=seed
+    )
+    grid.start()
+    return grid
+
+
+def _populate_client_logs(grid: Grid, n_calls: int, params_bytes: int) -> None:
+    """Give the client N durable, unregistered submissions (logs client-side).
+
+    The submissions are written straight into the client's durable log,
+    bypassing the coordinator entirely — exactly the state a client is in
+    when the coordinator restarted from scratch.
+    """
+    client = grid.client
+    for _ in range(n_calls):
+        identity = client.session.allocate()
+        description = CallDescription(
+            identity=identity,
+            service="sleep",
+            params_bytes=params_bytes,
+            result_bytes=32,
+            exec_time=0.0,
+        )
+        key = identity.rpc.value
+        client.log.append(key, description.to_payload(), description.wire_bytes)
+        client.log.mark_durable(key)
+
+
+def measure_sync_time(
+    direction: str, n_calls: int, params_bytes: int, seed: int = 0
+) -> float:
+    """One synchronization, timed at the client.
+
+    ``direction`` is ``"client-logs"`` or ``"coordinator-logs"``.
+    """
+    grid = _build(seed=seed, quiet=(direction == "client-logs"))
+    client = grid.client
+    coordinator = grid.coordinators[0]
+    timings: dict[str, float] = {}
+
+    if direction == "client-logs":
+        _populate_client_logs(grid, n_calls, params_bytes)
+        # Let the start-up traffic (initial server synchronisations) drain so
+        # only the synchronization exchange itself is timed.
+        grid.run(until=5.0)
+        delivered = {"count": 0}
+
+        def hook(message: Message) -> None:
+            if (
+                message.mtype is MessageType.RPC_SUBMIT
+                and message.dest == coordinator.address
+            ):
+                delivered["count"] += 1
+
+        grid.network.add_delivery_hook(hook)
+
+        def driver():
+            timings["start"] = grid.env.now
+            yield from client.synchronize()
+            # The coordinator's state is rebuilt once every pushed log record
+            # has reached it (the "actual logs exchange" of the paper).
+            while delivered["count"] < n_calls:
+                yield grid.env.timeout(0.02)
+            timings["end"] = grid.env.now
+
+    elif direction == "coordinator-logs":
+        # Register + finish N calls on the coordinator, then wipe the client's
+        # view (fresh client instance after a crash that lost its logs).
+        workload = SyntheticWorkload(
+            n_calls=n_calls, exec_time=0.0, params_bytes=params_bytes,
+            result_bytes=params_bytes,
+        )
+        warmup = grid.run_process(workload.run(client), name="fig6-warmup")
+        grid.run_until(warmup, timeout=100_000.0)
+        # Simulate losing the client-side logs and handles.
+        client.log._durable.clear()  # noqa: SLF001 - deliberate crash simulation
+        client.log._buffered.clear()  # noqa: SLF001
+        client.handles.clear()
+
+        def driver():
+            timings["start"] = grid.env.now
+            plan = yield from client.synchronize()
+            # The client now knows which timestamps it lost; pull their data
+            # back from the coordinator (results archive transfer).
+            lost = list(plan.client_lost) if plan is not None else []
+            if lost:
+                arrived = {"done": False}
+
+                def hook(message: Message) -> None:
+                    if (
+                        message.mtype is MessageType.RESULT_REPLY
+                        and message.dest == client.address
+                        and len(message.payload.get("results", [])) >= len(lost)
+                    ):
+                        arrived["done"] = True
+
+                grid.network.add_delivery_hook(hook)
+                reply_sizes = sum(
+                    coordinator.results[key].size_bytes
+                    for key in coordinator.results
+                    if key[2] in set(lost)
+                )
+                client.host.send(
+                    Message(
+                        mtype=MessageType.RESULT_PULL,
+                        source=client.address,
+                        dest=coordinator.address,
+                        payload={
+                            "session": (
+                                client.session.user.value,
+                                client.session.session_id.value,
+                            ),
+                            "pending": lost,
+                        },
+                        size_bytes=64 + 8 * len(lost),
+                    )
+                )
+                # Wait until the full reply has been delivered back to the
+                # client, or a generous deadline passes.
+                deadline = grid.env.now + 1000.0 + reply_sizes / 1e6
+                while grid.env.now < deadline and not arrived["done"]:
+                    yield grid.env.timeout(0.02)
+            timings["end"] = grid.env.now
+
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+
+    process = grid.host_of(client).spawn(driver(), name="fig6-driver")
+    grid.run_until(process, timeout=100_000.0)
+    return timings.get("end", float("nan")) - timings.get("start", 0.0)
+
+
+def run_fig6_vs_size(
+    sizes: list[int] | None = None, n_calls: int = 16, seed: int = 0
+) -> list[dict[str, Any]]:
+    """Left panel of Figure 6: synchronization time vs data size."""
+    sizes = sizes or geometric_sizes()
+    rows: list[dict[str, Any]] = []
+    for size in sizes:
+        client_logs = measure_sync_time("client-logs", n_calls, size, seed=seed)
+        coord_logs = measure_sync_time("coordinator-logs", n_calls, size, seed=seed)
+        rows.append(
+            {
+                "params_bytes": size,
+                "n_calls": n_calls,
+                "client_logs": client_logs,
+                "coordinator_logs": coord_logs,
+                "coordinator_over_client": (
+                    coord_logs / client_logs if client_logs > 0 else float("nan")
+                ),
+            }
+        )
+    return rows
+
+
+def run_fig6_vs_calls(
+    counts: list[int] | None = None, params_bytes: int = 300, seed: int = 0
+) -> list[dict[str, Any]]:
+    """Right panel of Figure 6: synchronization time vs number of calls."""
+    counts = counts or geometric_counts()
+    rows: list[dict[str, Any]] = []
+    for count in counts:
+        client_logs = measure_sync_time("client-logs", count, params_bytes, seed=seed)
+        coord_logs = measure_sync_time(
+            "coordinator-logs", count, params_bytes, seed=seed
+        )
+        rows.append(
+            {
+                "n_calls": count,
+                "params_bytes": params_bytes,
+                "client_logs": client_logs,
+                "coordinator_logs": coord_logs,
+                "coordinator_over_client": (
+                    coord_logs / client_logs if client_logs > 0 else float("nan")
+                ),
+            }
+        )
+    return rows

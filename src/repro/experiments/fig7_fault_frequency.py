@@ -1,0 +1,66 @@
+"""EXP-F7 — Figure 7: benchmark execution time vs fault frequency.
+
+The §5.1 fault-tolerance benchmark: one client submits 96 RPCs of 10 s to a
+pool of 16 servers through 4 coordinators (ideal time 60 s; the no-fault
+infrastructure overhead is ~17 %).  A fault generator kills components of one
+tier — servers or coordinators — at the swept aggregate frequency and restarts
+them a few seconds later; killed servers lose their running task, killed
+coordinators force clients and servers to resynchronise.
+
+Expected shape: both curves grow with the fault frequency and the server
+curve sits above the coordinator curve (a lost execution costs more than a
+middle-tier resynchronisation, and real platforms have many more computing
+nodes than infrastructure nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments.common import mean
+from repro.grid.runner import run_synthetic_benchmark
+from repro.workloads.sweep import fault_frequencies
+
+__all__ = ["run_fig7"]
+
+
+def run_fig7(
+    frequencies: list[float] | None = None,
+    seeds: tuple[int, ...] = (7, 11, 23),
+    n_calls: int = 96,
+    exec_time: float = 10.0,
+    n_servers: int = 16,
+    n_coordinators: int = 4,
+    restart_delay: float = 5.0,
+    horizon: float = 6000.0,
+) -> list[dict[str, Any]]:
+    """Benchmark execution time vs fault frequency, for both fault targets."""
+    frequencies = frequencies if frequencies is not None else fault_frequencies()
+    rows: list[dict[str, Any]] = []
+    ideal = exec_time * n_calls / n_servers
+    for frequency in frequencies:
+        row: dict[str, Any] = {"faults_per_minute": frequency, "ideal_seconds": ideal}
+        for target in ("servers", "coordinators"):
+            makespans = []
+            completed_all = True
+            faults = 0
+            for seed in seeds:
+                report = run_synthetic_benchmark(
+                    n_calls=n_calls,
+                    exec_time=exec_time,
+                    n_servers=n_servers,
+                    n_coordinators=n_coordinators,
+                    faults_per_minute=frequency,
+                    fault_target=target if frequency > 0 else "none",
+                    fault_restart_delay=restart_delay,
+                    seed=seed,
+                    horizon=horizon,
+                )
+                makespans.append(report.makespan)
+                faults += report.faults_injected
+                completed_all = completed_all and report.all_completed
+            row[f"faulty_{target}_seconds"] = mean(makespans)
+            row[f"faulty_{target}_completed"] = completed_all
+            row[f"faulty_{target}_faults"] = faults
+        rows.append(row)
+    return rows

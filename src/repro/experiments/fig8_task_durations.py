@@ -1,0 +1,35 @@
+"""EXP-F8 — Figure 8: distribution of the Alcatel task durations.
+
+The paper runs the Alcatel commutation-network validation tool with 1000
+parallel tasks whose durations vary "in a wide range"; Figure 8 plots the
+distribution.  Our stand-in workload draws the durations from a log-normal
+body with a small heavy tail (see :class:`repro.workloads.alcatel.AlcatelWorkload`
+and the substitution note in DESIGN.md); this experiment reports the histogram
+and the summary statistics of that distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.workloads.alcatel import AlcatelWorkload
+
+__all__ = ["run_fig8"]
+
+
+def run_fig8(
+    n_tasks: int = 1000, bins: int = 20, seed: int = 42
+) -> dict[str, Any]:
+    """Histogram + summary statistics of the task-duration distribution."""
+    workload = AlcatelWorkload(n_tasks=n_tasks, seed=seed)
+    counts, edges = workload.duration_histogram(bins=bins)
+    histogram_rows = [
+        {
+            "bin_start_seconds": float(edges[i]),
+            "bin_end_seconds": float(edges[i + 1]),
+            "tasks": int(counts[i]),
+        }
+        for i in range(len(counts))
+    ]
+    stats = workload.duration_stats()
+    return {"histogram": histogram_rows, "stats": stats}

@@ -1,0 +1,26 @@
+"""Grid assembly: turn a deployment description into a running scenario.
+
+The builders reproduce the paper's two platforms (the confined cluster and
+the Internet testbed) as parameter sets over the substrates, wire every
+component together, and hand back a :class:`~repro.grid.builder.Grid` object
+the experiments drive.
+"""
+
+from repro.grid.builder import Grid, build_confined_cluster, build_internet_testbed
+from repro.grid.deployment import (
+    DeploymentSpec,
+    confined_cluster_spec,
+    internet_testbed_spec,
+)
+from repro.grid.runner import RunReport, run_synthetic_benchmark
+
+__all__ = [
+    "DeploymentSpec",
+    "Grid",
+    "RunReport",
+    "build_confined_cluster",
+    "build_internet_testbed",
+    "confined_cluster_spec",
+    "internet_testbed_spec",
+    "run_synthetic_benchmark",
+]

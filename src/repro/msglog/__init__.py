@@ -1,0 +1,23 @@
+"""Sender-based message logging.
+
+Every RPC-V component locally logs every message it sends; on each
+communication the peers synchronise from these logs, which is what lets a
+restarted client resume exactly after its last registered RPC and lets
+servers re-execute calls whose results have been lost.  The package provides
+the durable log itself, the three client-side logging strategies compared in
+Figure 4 (optimistic, blocking pessimistic, non-blocking pessimistic) and the
+garbage-collection policies that keep the bounded log space safe.
+"""
+
+from repro.msglog.garbage import GarbageCollector, GCReport
+from repro.msglog.log import LogRecord, MessageLog
+from repro.msglog.strategies import LoggingEngine, LogToken
+
+__all__ = [
+    "GCReport",
+    "GarbageCollector",
+    "LogRecord",
+    "LoggingEngine",
+    "LogToken",
+    "MessageLog",
+]

@@ -1,0 +1,172 @@
+"""The sender-based message log.
+
+A :class:`MessageLog` lives on one host.  Records move through three
+durability states:
+
+* **buffered** — accepted by the log but not yet on disk; lost if the host
+  crashes (this is the window the optimistic strategy gambles on);
+* **durable** — written to the host's persistent space; survives crashes;
+* **acknowledged** — the peer has confirmed it holds the information (e.g.
+  the coordinator acknowledged an RPC submission), so the record is now only
+  needed for fast resynchronisation and may be garbage collected.
+
+Keys are the client timestamps (RPC counters) for client logs, task
+identifiers for server logs; the synchronisation protocol only ever compares
+keys and replays payloads, so the log is deliberately schema-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import LogCorruption
+from repro.nodes.node import Host
+
+__all__ = ["LogRecord", "MessageLog"]
+
+
+@dataclass
+class LogRecord:
+    """One logged message."""
+
+    key: Any
+    payload: dict[str, Any]
+    size_bytes: int
+    created_at: float
+    durable: bool = False
+    acked: bool = False
+    durable_at: float | None = None
+    acked_at: float | None = None
+
+
+class MessageLog:
+    """Per-host message log with explicit durability tracking."""
+
+    def __init__(self, host: Host, name: str) -> None:
+        self.host = host
+        self.name = name
+        storage_key = f"msglog:{name}"
+        #: durable records — stored in the host's persistent space so they
+        #: survive crashes.
+        self._durable: dict[Any, LogRecord] = host.persistent.setdefault(storage_key, {})
+        #: buffered records — volatile; simply not re-created after a crash.
+        self._buffered: dict[Any, LogRecord] = {}
+
+    # -- writing -----------------------------------------------------------------
+    def append(self, key: Any, payload: dict[str, Any], size_bytes: int) -> LogRecord:
+        """Accept a record in the buffered (not yet durable) state."""
+        if key in self._buffered or key in self._durable:
+            raise LogCorruption(f"duplicate log key {key!r} in log {self.name!r}")
+        record = LogRecord(
+            key=key,
+            payload=dict(payload),
+            size_bytes=int(size_bytes),
+            created_at=self.host.env.now,
+        )
+        self._buffered[key] = record
+        return record
+
+    def mark_durable(self, key: Any) -> None:
+        """Promote a buffered record to durable (it reached the disk)."""
+        record = self._buffered.pop(key, None)
+        if record is None:
+            if key in self._durable:
+                return
+            raise LogCorruption(f"mark_durable on unknown key {key!r}")
+        record.durable = True
+        record.durable_at = self.host.env.now
+        self._durable[key] = record
+
+    def mark_acked(self, key: Any) -> None:
+        """Record that the peer acknowledged holding this information."""
+        record = self._durable.get(key) or self._buffered.get(key)
+        if record is None:
+            # An ack for a record we no longer hold (already GC'ed) is fine.
+            return
+        record.acked = True
+        record.acked_at = self.host.env.now
+
+    def forget(self, key: Any) -> None:
+        """Drop a record entirely (garbage collection only)."""
+        self._durable.pop(key, None)
+        self._buffered.pop(key, None)
+
+    # -- reading -----------------------------------------------------------------
+    def get(self, key: Any) -> LogRecord | None:
+        """The record under ``key`` (durable or buffered), if any."""
+        return self._durable.get(key) or self._buffered.get(key)
+
+    def durable_records(self) -> list[LogRecord]:
+        """All durable records, ordered by key."""
+        return [self._durable[k] for k in sorted(self._durable, key=_sort_key)]
+
+    def all_records(self) -> list[LogRecord]:
+        """Durable and buffered records, ordered by key."""
+        merged = dict(self._durable)
+        merged.update(self._buffered)
+        return [merged[k] for k in sorted(merged, key=_sort_key)]
+
+    def durable_keys(self) -> set[Any]:
+        """Keys of durable records."""
+        return set(self._durable)
+
+    def keys(self) -> set[Any]:
+        """Keys of every record (durable or buffered)."""
+        return set(self._durable) | set(self._buffered)
+
+    def unacked_durable(self) -> list[LogRecord]:
+        """Durable records not yet acknowledged (what a sync must replay)."""
+        return [r for r in self.durable_records() if not r.acked]
+
+    def max_durable_key(self, default: Any = None) -> Any:
+        """Largest durable key (the client's last registered timestamp)."""
+        if not self._durable:
+            return default
+        return max(self._durable, key=_sort_key)
+
+    # -- sizes --------------------------------------------------------------------
+    def durable_bytes(self) -> int:
+        """Bytes of payload held durably."""
+        return sum(r.size_bytes for r in self._durable.values())
+
+    def total_bytes(self) -> int:
+        """Bytes of payload held in any state."""
+        return self.durable_bytes() + sum(r.size_bytes for r in self._buffered.values())
+
+    def __len__(self) -> int:
+        return len(self._durable) + len(self._buffered)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._durable or key in self._buffered
+
+    # -- integrity ----------------------------------------------------------------
+    def check_integrity(self) -> None:
+        """Raise :class:`LogCorruption` on impossible record states."""
+        for key, record in self._durable.items():
+            if not record.durable:
+                raise LogCorruption(f"record {key!r} in durable store but not durable")
+        for key, record in self._buffered.items():
+            if record.durable:
+                raise LogCorruption(f"record {key!r} durable but still buffered")
+            if key in self._durable:
+                raise LogCorruption(f"record {key!r} present in both stores")
+
+    def replay_payloads(self, keys: Iterable[Any]) -> list[dict[str, Any]]:
+        """Payloads of the durable records with the given keys, in key order."""
+        out = []
+        for key in sorted(keys, key=_sort_key):
+            record = self._durable.get(key)
+            if record is not None:
+                out.append(dict(record.payload))
+        return out
+
+
+def _sort_key(key: Any):
+    """Total order on heterogeneous log keys (ints, id newtypes, tuples)."""
+    if isinstance(key, (int, float)):
+        return (0, key, "")
+    value = getattr(key, "value", None)
+    if isinstance(value, (int, float)):
+        return (0, value, type(key).__name__)
+    return (1, 0, repr(key))

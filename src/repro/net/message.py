@@ -1,0 +1,109 @@
+"""Protocol message envelope.
+
+Every exchange between components is a :class:`Message`: a typed, sized
+envelope whose payload is a plain dictionary of identifiers and
+:class:`~repro.types.SizedPayload` values.  The *size* is what the network,
+disk and database cost models act upon; the content is what the protocol state
+machines act upon.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.types import Address
+
+__all__ = ["MessageType", "Message"]
+
+_MESSAGE_SEQ = itertools.count(1)
+
+#: Fixed per-message envelope overhead in bytes (headers, identifiers, the
+#: ~300-byte task descriptions of Fig. 5 are dominated by this kind of data).
+ENVELOPE_OVERHEAD_BYTES = 256
+
+
+class MessageType(enum.Enum):
+    """Every message type exchanged by the RPC-V protocol."""
+
+    # client -> coordinator
+    RPC_SUBMIT = "rpc-submit"
+    RESULT_PULL = "result-pull"
+    CLIENT_SYNC = "client-sync"
+    CLIENT_HEARTBEAT = "client-heartbeat"
+
+    # coordinator -> client
+    SUBMIT_ACK = "submit-ack"
+    RESULT_REPLY = "result-reply"
+    COORD_SYNC_REPLY = "coord-sync-reply"
+
+    # server -> coordinator
+    WORK_REQUEST = "work-request"
+    TASK_RESULT = "task-result"
+    SERVER_HEARTBEAT = "server-heartbeat"
+    SERVER_SYNC = "server-sync"
+
+    # coordinator -> server
+    TASK_ASSIGN = "task-assign"
+    TASK_RESULT_ACK = "task-result-ack"
+    NO_WORK = "no-work"
+
+    # coordinator <-> coordinator
+    REPLICA_STATE = "replica-state"
+    REPLICA_ACK = "replica-ack"
+    COORD_HEARTBEAT = "coord-heartbeat"
+    ARCHIVE_FETCH = "archive-fetch"
+    ARCHIVE_REPLY = "archive-reply"
+
+    # generic
+    PING = "ping"
+    PONG = "pong"
+
+
+@dataclass
+class Message:
+    """One connection-less protocol message."""
+
+    mtype: MessageType
+    source: Address
+    dest: Address
+    payload: dict[str, Any] = field(default_factory=dict)
+    #: application bytes carried (arguments, results, archives, state deltas).
+    size_bytes: int = 0
+    #: unique, monotonically increasing message identifier (debugging, logs).
+    msg_id: int = field(default_factory=lambda: next(_MESSAGE_SEQ))
+    #: virtual time at which the message was handed to the network.
+    sent_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire (payload plus envelope overhead)."""
+        return self.size_bytes + ENVELOPE_OVERHEAD_BYTES
+
+    def reply(
+        self,
+        mtype: MessageType,
+        payload: dict[str, Any] | None = None,
+        size_bytes: int = 0,
+    ) -> "Message":
+        """Build a reply addressed back to this message's source."""
+        return Message(
+            mtype=mtype,
+            source=self.dest,
+            dest=self.source,
+            payload=payload or {},
+            size_bytes=size_bytes,
+        )
+
+    def describe(self) -> str:
+        """Compact one-line description used in traces."""
+        return (
+            f"{self.mtype.value} {self.source}->{self.dest} "
+            f"({self.size_bytes} B, id={self.msg_id})"
+        )

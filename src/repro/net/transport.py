@@ -1,0 +1,187 @@
+"""Connection-less message transport over the simulation kernel.
+
+The :class:`Network` is the only way components exchange data.  Its semantics
+reflect the paper's platform assumptions:
+
+* **best effort** — messages can be lost (link model) or blocked (partitions);
+* **asynchronous** — per-message delays are unbounded in distribution tail;
+* **connection-less** — a send is fire-and-forget; the sender learns nothing
+  from the transport itself (no broken-connection fault detection);
+* **volatile endpoints** — a message arriving at a crashed endpoint is lost;
+  a crashed endpoint's mailbox is emptied (its volatile state is gone).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.net.latency import LinkModel, PerfectLinkModel
+from repro.net.message import Message
+from repro.net.partition import PartitionManager
+from repro.sim.core import Environment
+from repro.sim.monitor import Monitor
+from repro.sim.rng import RandomStreams
+from repro.sim.store import Store
+from repro.types import Address
+
+__all__ = ["Endpoint", "Network"]
+
+
+class Endpoint:
+    """A component's attachment point to the network (its mailbox)."""
+
+    def __init__(self, env: Environment, address: Address) -> None:
+        self.env = env
+        self.address = address
+        self.mailbox: Store = Store(env)
+        self.up = True
+        #: number of messages delivered to this endpoint since creation.
+        self.delivered = 0
+        #: number of messages dropped because the endpoint was down.
+        self.dropped_down = 0
+
+    def recv(self):
+        """Event triggering with the next delivered :class:`Message`."""
+        return self.mailbox.get()
+
+    def try_recv(self) -> Message | None:
+        """Non-blocking receive."""
+        return self.mailbox.try_get()
+
+    def mark_down(self) -> int:
+        """Crash semantics: drop queued messages and refuse new deliveries."""
+        self.up = False
+        return self.mailbox.clear()
+
+    def mark_up(self) -> None:
+        """Restart semantics: accept deliveries again (mailbox starts empty)."""
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"<Endpoint {self.address} {state} queued={len(self.mailbox)}>"
+
+
+class Network:
+    """The shared transport connecting every component of a scenario."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link_model: LinkModel | None = None,
+        rng: RandomStreams | None = None,
+        monitor: Monitor | None = None,
+        partitions: PartitionManager | None = None,
+    ) -> None:
+        self.env = env
+        self.link_model: LinkModel = link_model or PerfectLinkModel()
+        self.rng = rng or RandomStreams(0)
+        self.monitor = monitor or Monitor()
+        self.partitions = partitions or PartitionManager()
+        self._endpoints: dict[Address, Endpoint] = {}
+        #: optional hooks called on every successful delivery (testing aid).
+        self._delivery_hooks: list[Callable[[Message], None]] = []
+
+    # -- endpoint management ---------------------------------------------------
+    def register(self, address: Address) -> Endpoint:
+        """Create and register the endpoint for ``address``."""
+        if address in self._endpoints:
+            raise ConfigurationError(f"{address} already registered")
+        endpoint = Endpoint(self.env, address)
+        self._endpoints[address] = endpoint
+        return endpoint
+
+    def endpoint(self, address: Address) -> Endpoint:
+        """Look up a registered endpoint."""
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise ConfigurationError(f"{address} is not registered") from None
+
+    def addresses(self) -> list[Address]:
+        """All registered addresses."""
+        return list(self._endpoints)
+
+    def is_registered(self, address: Address) -> bool:
+        """Whether ``address`` has an endpoint."""
+        return address in self._endpoints
+
+    def set_endpoint_up(self, address: Address, up: bool) -> None:
+        """Mark an endpoint up/down (called by the node substrate)."""
+        endpoint = self.endpoint(address)
+        if up:
+            endpoint.mark_up()
+        else:
+            endpoint.mark_down()
+
+    def add_delivery_hook(self, hook: Callable[[Message], None]) -> None:
+        """Register a callable invoked with every delivered message."""
+        self._delivery_hooks.append(hook)
+
+    # -- sending -----------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Fire-and-forget send of ``message``.
+
+        The message is lost when: the link model rolls a loss, the partition
+        manager blocks the pair (checked both at send and at delivery time),
+        or the destination endpoint is down at delivery time.
+        """
+        message.sent_at = self.env.now
+        self.monitor.incr("net.sent")
+        self.monitor.incr("net.bytes_sent", message.wire_bytes)
+
+        if message.dest not in self._endpoints:
+            self.monitor.incr("net.dropped.unknown_dest")
+            return
+        if not self.partitions.allows(message.source, message.dest):
+            self.monitor.incr("net.dropped.partition")
+            return
+
+        stream = self.rng.stream("net.loss")
+        if self.link_model.loss_probability(message.source, message.dest) > 0.0:
+            if float(stream.random()) < self.link_model.loss_probability(
+                message.source, message.dest
+            ):
+                self.monitor.incr("net.dropped.loss")
+                return
+
+        delay = self.link_model.transfer_time(
+            message.source, message.dest, message.wire_bytes, self.rng.stream("net.delay")
+        )
+        timeout = self.env.timeout(max(delay, 0.0))
+        timeout.callbacks.append(lambda _event, m=message: self._deliver(m))
+
+    def _deliver(self, message: Message) -> None:
+        endpoint = self._endpoints.get(message.dest)
+        if endpoint is None:  # pragma: no cover - endpoint removed mid-flight
+            self.monitor.incr("net.dropped.unknown_dest")
+            return
+        if not self.partitions.allows(message.source, message.dest):
+            self.monitor.incr("net.dropped.partition")
+            return
+        if not endpoint.up:
+            endpoint.dropped_down += 1
+            self.monitor.incr("net.dropped.endpoint_down")
+            return
+        endpoint.delivered += 1
+        self.monitor.incr("net.delivered")
+        self.monitor.incr("net.bytes_delivered", message.wire_bytes)
+        endpoint.mailbox.put(message)
+        for hook in self._delivery_hooks:
+            hook(message)
+
+    # -- convenience -------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Snapshot of the transport counters."""
+        keys = [
+            "net.sent",
+            "net.delivered",
+            "net.bytes_sent",
+            "net.bytes_delivered",
+            "net.dropped.loss",
+            "net.dropped.partition",
+            "net.dropped.endpoint_down",
+            "net.dropped.unknown_dest",
+        ]
+        return {key: self.monitor.count(key) for key in keys}

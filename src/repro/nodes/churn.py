@@ -1,0 +1,138 @@
+"""Volatility (churn) models.
+
+The paper characterises Desktop Grid nodes as *volatile*: they leave without
+notice (shutdown, suspend-to-disk, idle-time policies, network stalls) and may
+come back minutes or days later, or never.  A churn model answers, for one
+node, "how long does it stay up, and once down, how long before it returns?"
+The fault generator (Fig. 7) and the grid builder consume these models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+
+__all__ = ["ChurnModel", "NoChurn", "ExponentialChurn", "WeibullChurn", "TraceChurn"]
+
+
+class ChurnModel(Protocol):
+    """Protocol implemented by volatility models."""
+
+    def uptime(self, rng: RandomStreams, node: str) -> float:
+        """Draw the next continuous up-time duration for ``node`` (seconds)."""
+        ...
+
+    def downtime(self, rng: RandomStreams, node: str) -> float:
+        """Draw the next down-time duration for ``node`` (seconds).
+
+        ``float('inf')`` means a permanent departure.
+        """
+        ...
+
+
+@dataclass
+class NoChurn:
+    """Nodes never fail on their own (faults only come from the fault script)."""
+
+    def uptime(self, rng: RandomStreams, node: str) -> float:
+        return float("inf")
+
+    def downtime(self, rng: RandomStreams, node: str) -> float:
+        return float("inf")
+
+
+@dataclass
+class ExponentialChurn:
+    """Memoryless churn: exponential MTBF and MTTR, as assumed in Fig. 7.
+
+    ``permanent_fraction`` of the failures never recover, modelling permanent
+    departures ("volatility implies that crashes may be permanent").
+    """
+
+    mtbf: float = 600.0
+    mttr: float = 30.0
+    permanent_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0 or self.mttr <= 0:
+            raise ConfigurationError("mtbf and mttr must be positive")
+        if not 0.0 <= self.permanent_fraction <= 1.0:
+            raise ConfigurationError("permanent_fraction must be in [0, 1]")
+
+    def uptime(self, rng: RandomStreams, node: str) -> float:
+        return rng.exponential(f"churn.up.{node}", self.mtbf)
+
+    def downtime(self, rng: RandomStreams, node: str) -> float:
+        if self.permanent_fraction:
+            if float(rng.stream(f"churn.perm.{node}").random()) < self.permanent_fraction:
+                return float("inf")
+        return rng.exponential(f"churn.down.{node}", self.mttr)
+
+
+@dataclass
+class WeibullChurn:
+    """Weibull-distributed availability, the shape measured on real desktop grids.
+
+    ``shape < 1`` gives the bursty, heavy-tailed availability periods reported
+    by desktop-grid measurement studies (many short up-times, a few very long
+    ones).
+    """
+
+    scale_up: float = 600.0
+    shape_up: float = 0.7
+    scale_down: float = 60.0
+    shape_down: float = 0.8
+
+    def __post_init__(self) -> None:
+        if min(self.scale_up, self.shape_up, self.scale_down, self.shape_down) <= 0:
+            raise ConfigurationError("Weibull parameters must be positive")
+
+    def uptime(self, rng: RandomStreams, node: str) -> float:
+        stream = rng.stream(f"churn.up.{node}")
+        return float(self.scale_up * stream.weibull(self.shape_up))
+
+    def downtime(self, rng: RandomStreams, node: str) -> float:
+        stream = rng.stream(f"churn.down.{node}")
+        return float(self.scale_down * stream.weibull(self.shape_down))
+
+
+@dataclass
+class TraceChurn:
+    """Replay explicit (uptime, downtime) pairs, cycling when exhausted.
+
+    Useful for regression tests (fully deterministic) and for replaying
+    availability traces harvested elsewhere.
+    """
+
+    pairs: Sequence[tuple[float, float]] = field(default_factory=lambda: [(3600.0, 60.0)])
+    _cursors: dict[str, Iterator[tuple[float, float]]] = field(default_factory=dict, repr=False)
+    _pending_down: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ConfigurationError("TraceChurn needs at least one (up, down) pair")
+        for up, down in self.pairs:
+            if up < 0 or down < 0:
+                raise ConfigurationError("trace durations must be non-negative")
+
+    def _advance(self, node: str) -> tuple[float, float]:
+        cursor = self._cursors.get(node)
+        if cursor is None:
+            def cycle() -> Iterator[tuple[float, float]]:
+                while True:
+                    yield from self.pairs
+
+            cursor = cycle()
+            self._cursors[node] = cursor
+        return next(cursor)
+
+    def uptime(self, rng: RandomStreams, node: str) -> float:
+        up, down = self._advance(node)
+        self._pending_down[node] = down
+        return up
+
+    def downtime(self, rng: RandomStreams, node: str) -> float:
+        return self._pending_down.pop(node, self.pairs[0][1])

@@ -1,0 +1,171 @@
+"""Controllable fault generator.
+
+The paper built "a fault generator, running as a remotely controllable
+daemon [that], upon order, or from its own initiative with respect to its
+configuration, kills abruptly the RPC-V component of the hosting machine".
+This module reproduces both modes:
+
+* :class:`FaultGenerator` — autonomous Poisson (or churn-model driven) kills
+  and restarts over a pool of hosts, parameterised by a global fault
+  frequency exactly as swept in Figure 7;
+* :class:`FaultScript` — an explicit timetable of kill/restart events, used
+  for the labelled scenarios of Figures 10 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from repro.errors import ConfigurationError
+from repro.nodes.churn import ChurnModel
+from repro.nodes.node import Host
+from repro.sim.core import Environment, ProcessKilled
+from repro.sim.monitor import Monitor
+from repro.sim.rng import RandomStreams
+
+__all__ = ["FaultGenerator", "ScriptedEvent", "FaultScript"]
+
+
+class FaultGenerator:
+    """Injects independent, exponentially-distributed faults over a host pool.
+
+    ``faults_per_minute`` is the aggregate rate over the whole pool (the
+    x-axis of Figure 7); each fault picks a victim uniformly at random, kills
+    it abruptly, then restarts it after ``restart_delay`` seconds (set to
+    ``float('inf')`` for permanent failures).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        hosts: Sequence[Host],
+        rng: RandomStreams,
+        faults_per_minute: float = 0.0,
+        restart_delay: float = 5.0,
+        monitor: Monitor | None = None,
+        name: str = "faultgen",
+    ) -> None:
+        if faults_per_minute < 0:
+            raise ConfigurationError("faults_per_minute must be non-negative")
+        if restart_delay < 0:
+            raise ConfigurationError("restart_delay must be non-negative")
+        self.env = env
+        self.hosts = list(hosts)
+        self.rng = rng
+        self.faults_per_minute = faults_per_minute
+        self.restart_delay = restart_delay
+        self.monitor = monitor or Monitor()
+        self.name = name
+        self.injected = 0
+        self._running = False
+
+    # -- autonomous operation -----------------------------------------------------
+    def start(self) -> None:
+        """Start injecting faults (no-op at rate 0)."""
+        if self.faults_per_minute <= 0 or not self.hosts:
+            return
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._run(), name=f"{self.name}:driver")
+
+    def stop(self) -> None:
+        """Stop injecting further faults (in-flight restarts still happen)."""
+        self._running = False
+
+    def _run(self):
+        mean_gap = 60.0 / self.faults_per_minute
+        while self._running:
+            gap = self.rng.exponential(f"{self.name}.gap", mean_gap)
+            yield self.env.timeout(gap)
+            if not self._running:
+                return
+            victims = [h for h in self.hosts if h.up]
+            if not victims:
+                continue
+            victim = self.rng.choice(f"{self.name}.victim", victims)
+            self.kill(victim)
+
+    # -- manual orders ("upon order") ------------------------------------------------
+    def kill(self, host: Host, restart_after: float | None = None) -> None:
+        """Kill ``host`` now; schedule its restart unless permanently down."""
+        if not host.up:
+            return
+        self.injected += 1
+        self.monitor.incr("faultgen.kills")
+        host.crash(cause=f"{self.name}")
+        delay = self.restart_delay if restart_after is None else restart_after
+        if delay != float("inf"):
+            self.env.process(self._restart_later(host, delay), name=f"{self.name}:restart")
+
+    def _restart_later(self, host: Host, delay: float):
+        try:
+            yield self.env.timeout(delay)
+        except ProcessKilled:  # pragma: no cover - defensive
+            return
+        if not host.up:
+            host.restart()
+            self.monitor.incr("faultgen.restarts")
+
+
+@dataclass(frozen=True)
+class ScriptedEvent:
+    """One entry of a :class:`FaultScript` timetable."""
+
+    time: float
+    action: Literal["kill", "restart"]
+    target: str  # host address string, matched against str(host.address)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("scripted event time must be non-negative")
+        if self.action not in ("kill", "restart"):
+            raise ConfigurationError(f"unknown scripted action {self.action!r}")
+
+
+@dataclass
+class FaultScript:
+    """A deterministic timetable of kills and restarts (Figs. 10-11 scenarios)."""
+
+    events: list[ScriptedEvent] = field(default_factory=list)
+
+    def kill(self, time: float, target: str) -> "FaultScript":
+        """Append a kill of ``target`` at ``time``; returns self for chaining."""
+        self.events.append(ScriptedEvent(time=time, action="kill", target=target))
+        return self
+
+    def restart(self, time: float, target: str) -> "FaultScript":
+        """Append a restart of ``target`` at ``time``; returns self for chaining."""
+        self.events.append(ScriptedEvent(time=time, action="restart", target=target))
+        return self
+
+    def install(self, env: Environment, hosts: Sequence[Host], monitor: Monitor | None = None) -> None:
+        """Spawn a driver process executing the timetable on the given hosts."""
+        by_name = {str(h.address): h for h in hosts}
+        monitor = monitor or Monitor()
+        ordered = sorted(self.events, key=lambda e: e.time)
+
+        def driver():
+            start = env.now
+            for event in ordered:
+                delay = max(0.0, start + event.time - env.now)
+                if delay:
+                    yield env.timeout(delay)
+                host = by_name.get(event.target)
+                if host is None:
+                    raise ConfigurationError(
+                        f"fault script targets unknown host {event.target!r}"
+                    )
+                if event.action == "kill":
+                    monitor.incr("faultscript.kills")
+                    host.crash(cause="fault-script")
+                else:
+                    monitor.incr("faultscript.restarts")
+                    host.restart()
+
+        env.process(driver(), name="fault-script")
+
+    def targets(self) -> set[str]:
+        """All host names referenced by the script."""
+        return {event.target for event in self.events}

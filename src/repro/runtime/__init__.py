@@ -1,0 +1,13 @@
+"""Real-time execution of the same scenarios.
+
+The protocol components are engine-agnostic: they only ever interact with the
+simulation :class:`~repro.sim.core.Environment`.  The
+:class:`~repro.runtime.realtime.RealTimeDriver` drives that environment in
+step with the wall clock, which turns any scenario built by
+:mod:`repro.grid` into a live, interactive run (used by the
+``examples/live_threaded_grid.py`` example and by latency-insensitive demos).
+"""
+
+from repro.runtime.realtime import RealTimeDriver
+
+__all__ = ["RealTimeDriver"]

@@ -1,0 +1,571 @@
+"""Core of the discrete-event simulation kernel.
+
+The kernel follows the process-interaction world view:
+
+* an :class:`Environment` owns the virtual clock and the pending-event heap;
+* a :class:`Process` wraps a Python generator; each value the generator yields
+  must be an :class:`Event`; the process is resumed when that event fires;
+* :class:`Timeout` is the elementary "wait for some virtual time" event;
+* :class:`AnyOf` / :class:`AllOf` compose events;
+* processes can be interrupted (:class:`Interrupt`) or killed
+  (:class:`ProcessKilled`), which is how node crashes are modelled.
+
+The implementation is intentionally dependency-free and deterministic: events
+scheduled at the same virtual time fire in scheduling order (FIFO tie-break on
+a monotonically increasing sequence number).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "ProcessKilled",
+    "StopProcess",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Environment",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (not for modelled faults)."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary payload describing why the
+    interruption happened (e.g. ``"node-crash"``).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process that is being killed (crash semantics).
+
+    Unlike :class:`Interrupt`, a killed process is not expected to recover:
+    the kernel silences any ``ProcessKilled`` escaping the generator.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopProcess(Exception):
+    """Internal: raised to return a value from a process (like StopIteration)."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+
+
+_PENDING = object()
+
+
+class Event:
+    """A waitable, one-shot occurrence.
+
+    An event has three states: *pending* (created, not yet triggered),
+    *triggered* (scheduled on the environment queue), and *processed* (its
+    callbacks have run).  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._processed = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception, for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the event.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self._defused = True
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel does not re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of virtual time in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env._schedule(self, priority=Environment._PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running process.
+
+    A process is itself an event: it triggers when the wrapped generator
+    terminates, with the value passed to ``return`` (or the exception that
+    escaped it).  Other processes may therefore wait for its completion by
+    yielding it.
+    """
+
+    __slots__ = ("generator", "name", "_target", "is_alive_override")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on (None when running
+        #: or terminated)
+        self._target: Event | None = None
+        Initialize(env, self)
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not terminated."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event the process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        self.env._schedule(
+            _InterruptEvent(self.env, self, Interrupt(cause)),
+            priority=Environment._PRIORITY_URGENT,
+        )
+
+    def kill(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessKilled` into the process at the current time.
+
+        Used for crash semantics: the process is not expected to survive; if
+        :class:`ProcessKilled` escapes the generator, it is silently dropped
+        (the process just terminates without value).
+        """
+        if not self.is_alive:
+            return
+        self.env._schedule(
+            _InterruptEvent(self.env, self, ProcessKilled(cause)),
+            priority=Environment._PRIORITY_URGENT,
+        )
+
+    # -- kernel callbacks ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        exc_to_throw: BaseException | None = None
+        value: Any = None
+        if event is not None:
+            if event._ok:
+                value = event._value
+            else:
+                event._defused = True
+                exc_to_throw = event._value
+
+        while True:
+            try:
+                if exc_to_throw is not None:
+                    exc, exc_to_throw = exc_to_throw, None
+                    target = self.generator.throw(exc)
+                else:
+                    target = self.generator.send(value)
+            except StopIteration as stop:
+                self._target = None
+                self.env._active_process = None
+                if not self.triggered:
+                    self._ok = True
+                    self._value = stop.value
+                    self.env._schedule(self)
+                return
+            except ProcessKilled:
+                # Crash semantics: a killed process simply disappears.
+                self._target = None
+                self.env._active_process = None
+                if not self.triggered:
+                    self._ok = True
+                    self._value = None
+                    self.env._schedule(self)
+                return
+            except BaseException as err:  # escaped process failure
+                self._target = None
+                self.env._active_process = None
+                if not self.triggered:
+                    self._ok = False
+                    self._value = err
+                    self.env._schedule(self)
+                return
+
+            if not isinstance(target, Event):
+                exc_to_throw = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {target!r}"
+                )
+                continue
+            if target.env is not self.env:
+                exc_to_throw = SimulationError(
+                    "yielded an event bound to a different environment"
+                )
+                continue
+
+            if target.triggered and target.callbacks is None:
+                # Already processed: resume immediately with its outcome.
+                if target._ok:
+                    value = target._value
+                    continue
+                target._defused = True
+                exc_to_throw = target._value
+                continue
+
+            # Wait for the target event.
+            self._target = target
+            target.callbacks.append(self._resume)  # type: ignore[union-attr]
+            break
+
+        self.env._active_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.is_alive else "terminated"
+        return f"<Process {self.name!r} {status}>"
+
+
+class _InterruptEvent(Event):
+    """Internal event delivering an interrupt/kill to a process."""
+
+    __slots__ = ("process", "exception")
+
+    def __init__(
+        self, env: "Environment", process: Process, exception: BaseException
+    ) -> None:
+        super().__init__(env)
+        self.process = process
+        self.exception = exception
+        self._ok = True
+        self._value = None
+        self.callbacks = [self._deliver]
+
+    def _deliver(self, _event: Event) -> None:
+        process = self.process
+        if not process.is_alive:
+            return
+        # Detach the process from whatever it is currently waiting on.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        process._target = None
+        failed = Event(process.env)
+        failed._ok = False
+        failed._value = self.exception
+        failed._defused = True
+        process._resume(failed)
+
+
+# ---------------------------------------------------------------------------
+# Composite conditions
+# ---------------------------------------------------------------------------
+
+
+class Condition(Event):
+    """Base class for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events: tuple[Event, ...] = tuple(events)
+        self._count = 0
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("condition mixes environments")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            if event.triggered and event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)  # type: ignore[union-attr]
+            if self.triggered:
+                break
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.triggered and e._ok}
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any of the given events triggers."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(Condition):
+    """Triggers once all of the given events have triggered."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self.events)
+
+
+# ---------------------------------------------------------------------------
+# Environment
+# ---------------------------------------------------------------------------
+
+
+class Environment:
+    """The simulation environment: virtual clock plus pending-event heap."""
+
+    _PRIORITY_URGENT = 0
+    _PRIORITY_NORMAL = 1
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Process | None = None
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories -----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        """Start a new :class:`Process` wrapping ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Shorthand for :class:`AnyOf`."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Shorthand for :class:`AllOf`."""
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(
+        self, event: Event, delay: float = 0.0, priority: int | None = None
+    ) -> None:
+        if priority is None:
+            priority = self._PRIORITY_NORMAL
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._counter), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        event._processed = True
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it to the caller of run().
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the schedule drains;
+        * a number — run until that virtual time (the clock is advanced to it);
+        * an :class:`Event` — run until that event has been processed and
+          return its value.
+        """
+        stop_event: Event | None = None
+        stop_time: float | None = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time!r} is in the past (now={self._now!r})"
+                )
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event._ok and not stop_event._defused:
+                    raise stop_event._value
+                return stop_event._value
+            if not self._queue:
+                if stop_time is not None:
+                    self._now = stop_time
+                if stop_event is not None:
+                    raise SimulationError(
+                        "run() until an event, but the schedule drained first"
+                    )
+                return None
+            if stop_time is not None and self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+    def run_until_idle(self, max_events: int | None = None) -> int:
+        """Drain the queue (optionally at most ``max_events`` steps).
+
+        Returns the number of events processed.  Useful in tests.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        return processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Environment now={self._now!r} pending={len(self._queue)}>"

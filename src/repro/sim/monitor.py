@@ -1,0 +1,140 @@
+"""Instrumentation: counters, time series and event traces.
+
+Experiments need two kinds of observations:
+
+* scalar counters / gauges (number of faults injected, messages sent, tasks
+  re-executed, ...);
+* time series of ``(time, value)`` samples — the completed-task curves of
+  Figures 9-11 are exactly this.
+
+The :class:`Monitor` aggregates both and is passed around by the grid runner;
+components record into it through small, allocation-light helpers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TimeSeries", "Monitor", "TraceRecord"]
+
+
+@dataclass
+class TraceRecord:
+    """One structured trace event (used by tests and debugging)."""
+
+    time: float
+    category: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time series {self.name!r}: non-monotonic sample "
+                f"{time} after {self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the series as a pair of numpy arrays."""
+        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+
+    def value_at(self, time: float, default: float = 0.0) -> float:
+        """Last sampled value at or before ``time`` (step interpolation)."""
+        index = int(np.searchsorted(np.asarray(self.times), time, side="right")) - 1
+        if index < 0:
+            return default
+        return self.values[index]
+
+    def resample(self, times: "np.ndarray | list[float]", default: float = 0.0) -> np.ndarray:
+        """Step-interpolate the series on the given time grid."""
+        grid = np.asarray(times, dtype=float)
+        if len(self.times) == 0:
+            return np.full_like(grid, default, dtype=float)
+        own_times = np.asarray(self.times)
+        own_values = np.asarray(self.values)
+        idx = np.searchsorted(own_times, grid, side="right") - 1
+        out = np.where(idx >= 0, own_values[np.clip(idx, 0, None)], default)
+        return out.astype(float)
+
+    def final_value(self, default: float = 0.0) -> float:
+        """The last recorded value (or ``default`` if empty)."""
+        return self.values[-1] if self.values else default
+
+
+class Monitor:
+    """Collects counters, gauges, time series and trace records for one run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = defaultdict(float)
+        self.gauges: dict[str, float] = {}
+        self.series: dict[str, TimeSeries] = {}
+        self.traces: list[TraceRecord] = []
+        self.trace_enabled = True
+        self.trace_limit = 200_000
+
+    # -- counters / gauges ----------------------------------------------------
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def count(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    # -- time series ----------------------------------------------------------
+    def timeseries(self, name: str) -> TimeSeries:
+        """Return (creating if needed) the time series called ``name``."""
+        series = self.series.get(name)
+        if series is None:
+            series = TimeSeries(name)
+            self.series[name] = series
+        return series
+
+    def sample(self, name: str, time: float, value: float) -> None:
+        """Append one sample to the time series ``name``."""
+        self.timeseries(name).record(time, value)
+
+    # -- traces ---------------------------------------------------------------
+    def trace(self, time: float, category: str, **payload: Any) -> None:
+        """Record a structured trace event (bounded by ``trace_limit``)."""
+        if not self.trace_enabled or len(self.traces) >= self.trace_limit:
+            return
+        self.traces.append(TraceRecord(time=time, category=category, payload=payload))
+
+    def traces_of(self, category: str) -> list[TraceRecord]:
+        """All trace records with the given category."""
+        return [t for t in self.traces if t.category == category]
+
+    # -- reporting --------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """A plain-dict snapshot of counters, gauges and series lengths."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "series": {name: len(ts) for name, ts in self.series.items()},
+            "traces": len(self.traces),
+        }

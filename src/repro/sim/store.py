@@ -1,0 +1,205 @@
+"""Waitable stores (mailboxes, queues) for the simulation kernel.
+
+A :class:`Store` is the classical producer/consumer channel: ``put`` never
+blocks (unbounded by default, or fails the put event when a capacity is set
+and exceeded), ``get`` returns an event that triggers once an item is
+available.  :class:`FilterStore` and :class:`PriorityStore` refine the
+retrieval order; they are used for protocol mailboxes and scheduler queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["Store", "FilterStore", "PriorityStore", "StoreClosed"]
+
+
+class StoreClosed(RuntimeError):
+    """Raised (as an event failure) on pending gets when a store is closed."""
+
+
+class Store:
+    """An unbounded (or capacity-bounded) FIFO store of arbitrary items."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the store has been closed (no further puts accepted)."""
+        return self._closed
+
+    # -- operations ----------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; returns an already-succeeded event.
+
+        If the store is closed or full the returned event is failed instead,
+        which models a mailbox of a crashed node silently dropping traffic
+        when the caller does not look at the outcome.
+        """
+        event = Event(self.env)
+        if self._closed:
+            event.fail(StoreClosed("store is closed"))
+            event.defuse()
+            return event
+        if len(self.items) >= self.capacity:
+            event.fail(SimulationError("store full"))
+            event.defuse()
+            return event
+        self.items.append(item)
+        event.succeed(item)
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next available item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self) -> Any | None:
+        """Non-blocking get: pop an item if one is available, else ``None``."""
+        if self.items and not self._getters:
+            return self.items.popleft()
+        return None
+
+    def clear(self) -> int:
+        """Drop all stored items (crash semantics); returns how many."""
+        n = len(self.items)
+        self.items.clear()
+        return n
+
+    def close(self, exc: BaseException | None = None) -> None:
+        """Close the store: fail all pending getters and refuse new puts."""
+        self._closed = True
+        error = exc or StoreClosed("store closed")
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.fail(error)
+
+    def reopen(self) -> None:
+        """Re-open a previously closed store (node restart)."""
+        self._closed = False
+
+    # -- internals -----------------------------------------------------------
+    def _dispatch(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            if getter.triggered:  # cancelled getter
+                continue
+            item = self._select_item(getter)
+            if item is _NO_ITEM:
+                # No item matches this getter: park it back and stop; a later
+                # put may satisfy it.
+                self._getters.appendleft(getter)
+                return
+            getter.succeed(item)
+
+    def _select_item(self, _getter: Event) -> Any:
+        return self.items.popleft()
+
+
+_NO_ITEM = object()
+
+
+class FilterStore(Store):
+    """A store whose ``get`` can take a predicate selecting the item."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self._predicates: dict[Event, Callable[[Any], bool] | None] = {}
+
+    def get(self, predicate: Callable[[Any], bool] | None = None) -> Event:  # type: ignore[override]
+        event = Event(self.env)
+        self._predicates[event] = predicate
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for getter in list(self._getters):
+                if getter.triggered:
+                    self._getters.remove(getter)
+                    self._predicates.pop(getter, None)
+                    continue
+                predicate = self._predicates.get(getter)
+                for index, item in enumerate(self.items):
+                    if predicate is None or predicate(item):
+                        del self.items[index]
+                        self._getters.remove(getter)
+                        self._predicates.pop(getter, None)
+                        getter.succeed(item)
+                        progressed = True
+                        break
+
+    def _select_item(self, getter: Event) -> Any:  # pragma: no cover - unused
+        return super()._select_item(getter)
+
+
+class PriorityStore(Store):
+    """A store returning items in ``(priority, fifo)`` order.
+
+    Items are ``(priority, item)`` pairs on ``put``; ``get`` returns the item
+    with the smallest priority (ties broken FIFO).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def put(self, item: Any, priority: Any = 0) -> Event:  # type: ignore[override]
+        event = Event(self.env)
+        if self._closed:
+            event.fail(StoreClosed("store is closed"))
+            event.defuse()
+            return event
+        if len(self._heap) >= self.capacity:
+            event.fail(SimulationError("store full"))
+            event.defuse()
+            return event
+        heapq.heappush(self._heap, (priority, next(self._seq), item))
+        event.succeed(item)
+        self._dispatch()
+        return event
+
+    def try_get(self) -> Any | None:
+        if self._heap and not self._getters:
+            return heapq.heappop(self._heap)[2]
+        return None
+
+    def clear(self) -> int:
+        n = len(self._heap)
+        self._heap.clear()
+        return n
+
+    def _dispatch(self) -> None:
+        while self._getters and self._heap:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(heapq.heappop(self._heap)[2])

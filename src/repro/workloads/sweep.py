@@ -1,0 +1,43 @@
+"""Parameter-sweep helpers shared by the figure experiments.
+
+The paper sweeps its x-axes geometrically: parameter sizes "from some bytes up
+to 100 MBytes" (Figs 4-6, left panels) and call counts "1 to 1000" (right
+panels), both plotted on log scales.  These helpers produce those grids so
+every experiment and benchmark uses the same points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["geometric_sizes", "geometric_counts", "fault_frequencies"]
+
+
+def geometric_sizes(
+    minimum: int = 100, maximum: int = 100_000_000, points_per_decade: int = 1
+) -> list[int]:
+    """Geometrically spaced data sizes in bytes (default: one per decade)."""
+    if minimum <= 0 or maximum < minimum:
+        raise ValueError("invalid size range")
+    decades = int(np.ceil(np.log10(maximum / minimum)))
+    n_points = max(decades * points_per_decade + 1, 2)
+    values = np.geomspace(minimum, maximum, num=n_points)
+    return sorted({int(round(v)) for v in values})
+
+
+def geometric_counts(minimum: int = 1, maximum: int = 1000, points_per_decade: int = 1) -> list[int]:
+    """Geometrically spaced call counts (default 1, 10, 100, 1000)."""
+    if minimum <= 0 or maximum < minimum:
+        raise ValueError("invalid count range")
+    decades = int(np.ceil(np.log10(maximum / minimum))) if maximum > minimum else 1
+    n_points = max(decades * points_per_decade + 1, 2)
+    values = np.geomspace(minimum, maximum, num=n_points)
+    return sorted({int(round(v)) for v in values})
+
+
+def fault_frequencies(maximum: float = 10.0, step: float = 1.0) -> list[float]:
+    """Fault frequencies (faults per minute) swept by Figure 7: 0..10."""
+    if maximum < 0 or step <= 0:
+        raise ValueError("invalid fault frequency range")
+    values = np.arange(0.0, maximum + step / 2, step)
+    return [float(v) for v in values]

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.latency import LanLinkModel
+from repro.net.transport import Network
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+from repro.types import Address
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def network(env: Environment) -> Network:
+    """A LAN network bound to the environment."""
+    return Network(env, link_model=LanLinkModel(jitter=0.0), rng=RandomStreams(1))
+
+
+@pytest.fixture
+def addresses() -> dict[str, Address]:
+    """A small set of well-known addresses."""
+    return {
+        "client": Address("client", "c0"),
+        "coordinator": Address("coordinator", "k0"),
+        "coordinator2": Address("coordinator", "k1"),
+        "server": Address("server", "s0"),
+        "server2": Address("server", "s1"),
+    }

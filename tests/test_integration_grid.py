@@ -1,0 +1,319 @@
+"""Integration tests: full scenarios on the assembled grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import netsolve_style_protocol, no_fault_tolerance_protocol
+from repro.config import ProtocolConfig
+from repro.core.api import GridRpc
+from repro.errors import ConfigurationError
+from repro.grid.builder import build_confined_cluster, build_internet_testbed
+from repro.grid.deployment import confined_cluster_spec, internet_testbed_spec
+from repro.grid.runner import run_synthetic_benchmark
+from repro.types import LoggingStrategy, RPCStatus, TaskState
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def small_grid(**kwargs):
+    defaults = dict(n_servers=4, n_coordinators=2, seed=1, spread_servers=False)
+    defaults.update(kwargs)
+    grid = build_confined_cluster(**defaults)
+    grid.start()
+    return grid
+
+
+class TestDeploymentSpecs:
+    def test_confined_spec_defaults_match_paper(self):
+        spec = confined_cluster_spec()
+        assert spec.n_servers == 16
+        assert spec.n_coordinators == 4
+        assert spec.n_clients == 1
+
+    def test_internet_spec_sites(self):
+        spec = internet_testbed_spec()
+        assert set(spec.servers_per_site) == {"lille", "wisconsin", "orsay"}
+        assert spec.protocol.coordinator.replication.period == 60.0
+
+    def test_spec_validation_rejects_unknown_site(self):
+        spec = internet_testbed_spec()
+        with pytest.raises(ConfigurationError):
+            type(spec)(
+                name="broken",
+                servers_per_site={"mars": 1},
+                coordinator_sites=["lille"],
+                client_sites=["lille"],
+                site_map=spec.site_map,
+            )
+
+
+class TestBasicExecution:
+    def test_all_calls_complete(self, ):
+        grid = small_grid()
+        workload = SyntheticWorkload(n_calls=8, exec_time=1.0, params_bytes=256)
+        process = grid.run_process(workload.run(grid.client))
+        assert grid.run_until(process, timeout=500.0)
+        assert workload.completed_count() == 8
+        assert workload.makespan > 0
+
+    def test_results_reach_every_handle_with_identity_match(self):
+        grid = small_grid()
+        workload = SyntheticWorkload(n_calls=5, exec_time=0.5)
+        process = grid.run_process(workload.run(grid.client))
+        grid.run_until(process, timeout=300.0)
+        for handle in workload.handles:
+            assert handle.done
+            assert handle.result.identity == handle.identity
+
+    def test_makespan_roughly_matches_ideal(self):
+        grid = small_grid(n_servers=4)
+        workload = SyntheticWorkload(n_calls=8, exec_time=5.0)
+        process = grid.run_process(workload.run(grid.client))
+        grid.run_until(process, timeout=600.0)
+        ideal = 8 * 5.0 / 4
+        assert ideal <= workload.makespan < 4 * ideal
+
+    def test_client_stats_reflect_run(self):
+        grid = small_grid()
+        workload = SyntheticWorkload(n_calls=4, exec_time=0.5)
+        process = grid.run_process(workload.run(grid.client))
+        grid.run_until(process, timeout=300.0)
+        stats = grid.client.stats()
+        assert stats["submitted"] == 4
+        assert stats["completed"] == 4
+        assert stats["pending"] == 0
+
+    def test_coordinator_state_is_consistent_at_the_end(self):
+        grid = small_grid()
+        workload = SyntheticWorkload(n_calls=6, exec_time=0.5)
+        process = grid.run_process(workload.run(grid.client))
+        grid.run_until(process, timeout=300.0)
+        primary = grid.coordinators[0]
+        assert primary.stats()["finished"] == 6
+        assert len(primary.results) == 6
+
+    def test_replication_propagates_to_replica(self):
+        grid = small_grid()
+        workload = SyntheticWorkload(n_calls=6, exec_time=0.5)
+        process = grid.run_process(workload.run(grid.client))
+        grid.run_until(process, timeout=300.0)
+        grid.run(until=grid.env.now + 3 * grid.spec.protocol.coordinator.replication.period)
+        replica = grid.coordinators[1]
+        assert replica.finished_count() == 6
+
+    def test_progress_condition_holds_on_healthy_grid(self):
+        grid = small_grid()
+        assert grid.progress_condition_holds()
+
+    def test_progress_condition_fails_without_coordinators(self):
+        grid = small_grid()
+        for host in grid.coordinator_hosts():
+            host.crash()
+        assert not grid.progress_condition_holds()
+
+    def test_internet_testbed_builds_and_runs(self):
+        grid = build_internet_testbed(
+            servers_per_site={"lille": 2, "orsay": 2}, seed=2
+        )
+        grid.start()
+        workload = SyntheticWorkload(n_calls=4, exec_time=1.0)
+        process = grid.run_process(workload.run(grid.client))
+        assert grid.run_until(process, timeout=2000.0)
+        assert workload.completed_count() == 4
+
+
+class TestGridRpcApi:
+    def test_blocking_and_async_calls(self):
+        grid = small_grid()
+        api = GridRpc(grid.client)
+        api.initialize()
+        outcome = {}
+
+        def app():
+            result = yield from api.call("sleep", exec_time=1.0, params_bytes=64)
+            outcome["blocking"] = result
+            handle_id = yield from api.call_async("sleep", exec_time=1.0)
+            outcome["status_before"] = api.probe(handle_id)
+            outcome["async"] = yield from api.wait(handle_id)
+            outcome["status_after"] = api.probe(handle_id)
+
+        process = grid.run_process(app())
+        grid.run_until(process, timeout=300.0)
+        assert outcome["blocking"] is not None
+        assert outcome["async"] is not None
+        assert outcome["status_before"] in (RPCStatus.SUBMITTED, RPCStatus.RUNNING)
+        assert outcome["status_after"] is RPCStatus.COMPLETED
+
+    def test_wait_all_and_wait_any(self):
+        grid = small_grid()
+        api = GridRpc(grid.client)
+        api.initialize()
+        outcome = {}
+
+        def app():
+            ids = []
+            for _ in range(3):
+                handle_id = yield from api.call_async("sleep", exec_time=0.5)
+                ids.append(handle_id)
+            first_id, _result = yield from api.wait_any(ids)
+            outcome["first"] = first_id
+            outcome["all"] = yield from api.wait_all(ids)
+
+        process = grid.run_process(app())
+        grid.run_until(process, timeout=300.0)
+        assert outcome["first"] in api.handles()
+        assert len(outcome["all"]) == 3
+
+    def test_initialize_required(self):
+        grid = small_grid()
+        api = GridRpc(grid.client)
+        with pytest.raises(Exception):
+            list(api.call_async("sleep"))
+
+    def test_cancel_stops_tracking(self):
+        grid = small_grid()
+        api = GridRpc(grid.client)
+        api.initialize()
+        collected = {}
+
+        def app():
+            handle_id = yield from api.call_async("sleep", exec_time=0.5)
+            collected["id"] = handle_id
+            api.cancel(handle_id)
+
+        process = grid.run_process(app())
+        grid.run_until(process, timeout=100.0)
+        assert collected["id"] not in api.handles()
+
+
+class TestFaultTolerance:
+    def test_server_crash_mid_execution_still_completes(self):
+        grid = small_grid(n_servers=2, n_coordinators=1)
+        workload = SyntheticWorkload(n_calls=4, exec_time=10.0)
+        process = grid.run_process(workload.run(grid.client))
+        victim = grid.server_hosts()[0]
+
+        def killer():
+            yield grid.env.timeout(15.0)
+            victim.crash()
+            yield grid.env.timeout(10.0)
+            victim.restart()
+
+        grid.env.process(killer())
+        assert grid.run_until(process, timeout=3000.0)
+        assert workload.completed_count() == 4
+        assert grid.monitor.count("faults.server") == 1
+
+    def test_permanent_server_loss_recovered_by_other_server(self):
+        grid = small_grid(n_servers=2, n_coordinators=1)
+        workload = SyntheticWorkload(n_calls=4, exec_time=10.0)
+        process = grid.run_process(workload.run(grid.client))
+        victim = grid.server_hosts()[0]
+
+        def killer():
+            yield grid.env.timeout(12.0)
+            victim.crash()   # never restarted
+
+        grid.env.process(killer())
+        assert grid.run_until(process, timeout=3000.0)
+        assert workload.completed_count() == 4
+
+    def test_coordinator_crash_and_restart_preserves_tasks(self):
+        grid = small_grid(n_servers=2, n_coordinators=2)
+        workload = SyntheticWorkload(n_calls=6, exec_time=5.0)
+        process = grid.run_process(workload.run(grid.client))
+        primary_host = grid.coordinator_hosts()[0]
+
+        def killer():
+            yield grid.env.timeout(8.0)
+            primary_host.crash()
+            yield grid.env.timeout(10.0)
+            primary_host.restart()
+
+        grid.env.process(killer())
+        assert grid.run_until(process, timeout=3000.0)
+        assert workload.completed_count() == 6
+        assert grid.coordinators[0].finished_count() >= 1
+
+    def test_primary_coordinator_permanent_failure_fails_over(self):
+        grid = small_grid(n_servers=2, n_coordinators=2)
+        workload = SyntheticWorkload(n_calls=6, exec_time=5.0)
+        process = grid.run_process(workload.run(grid.client))
+        primary_host = grid.coordinator_hosts()[0]
+
+        def killer():
+            # Let some state replicate first (period is 5 s on the cluster).
+            yield grid.env.timeout(12.0)
+            primary_host.crash()  # permanent
+
+        grid.env.process(killer())
+        assert grid.run_until(process, timeout=4000.0)
+        assert workload.completed_count() == 6
+        assert grid.monitor.count("server.coordinator_switches") >= 1
+
+    def test_fig7_style_run_with_server_faults_completes(self):
+        report = run_synthetic_benchmark(
+            n_calls=16,
+            exec_time=2.0,
+            n_servers=4,
+            n_coordinators=2,
+            faults_per_minute=6.0,
+            fault_target="servers",
+            fault_restart_delay=5.0,
+            seed=3,
+            horizon=3000.0,
+        )
+        assert report.all_completed
+        assert report.makespan >= report.ideal_time
+
+    def test_faults_increase_makespan_on_average(self):
+        quiet = run_synthetic_benchmark(
+            n_calls=32, exec_time=5.0, n_servers=8, n_coordinators=2, seed=5,
+        )
+        noisy = run_synthetic_benchmark(
+            n_calls=32, exec_time=5.0, n_servers=8, n_coordinators=2, seed=5,
+            faults_per_minute=10.0, fault_target="servers", fault_restart_delay=20.0,
+            horizon=6000.0,
+        )
+        assert noisy.makespan > quiet.makespan
+        assert noisy.faults_injected > 0
+
+
+class TestLoggingStrategiesEndToEnd:
+    @pytest.mark.parametrize("strategy", list(LoggingStrategy))
+    def test_every_strategy_completes_the_workload(self, strategy):
+        protocol = ProtocolConfig().with_logging_strategy(strategy)
+        protocol.coordinator.replication.period = 5.0
+        grid = small_grid(protocol=protocol)
+        workload = SyntheticWorkload(n_calls=4, exec_time=1.0, params_bytes=2048)
+        process = grid.run_process(workload.run(grid.client))
+        assert grid.run_until(process, timeout=500.0)
+        assert workload.completed_count() == 4
+
+    def test_blocking_strategy_is_slowest_to_submit(self):
+        times = {}
+        for strategy in LoggingStrategy:
+            protocol = ProtocolConfig().with_logging_strategy(strategy)
+            protocol.coordinator.replication.period = 5.0
+            protocol.server.work_poll_period = 10_000.0
+            grid = small_grid(protocol=protocol, n_servers=1, n_coordinators=1)
+            workload = SyntheticWorkload(
+                n_calls=8, exec_time=1.0e6, params_bytes=2_000_000
+            )
+            process = grid.run_process(workload.submit_only(grid.client))
+            grid.run_until(process, timeout=5000.0)
+            times[strategy] = workload.submission_time
+        assert times[LoggingStrategy.PESSIMISTIC_BLOCKING] > times[LoggingStrategy.OPTIMISTIC]
+
+
+class TestBaselines:
+    def test_presets_validate(self):
+        assert netsolve_style_protocol().coordinator.replication.enabled is False
+        assert no_fault_tolerance_protocol().coordinator.scheduler.reschedule_on_suspicion is False
+
+    def test_baseline_still_completes_without_faults(self):
+        report = run_synthetic_benchmark(
+            n_calls=8, exec_time=1.0, n_servers=4, n_coordinators=2,
+            protocol=netsolve_style_protocol(), seed=2,
+        )
+        assert report.all_completed

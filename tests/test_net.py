@@ -1,0 +1,249 @@
+"""Tests for the network substrate (messages, latency models, transport, partitions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.latency import (
+    CompositeLinkModel,
+    InternetLinkModel,
+    LanLinkModel,
+    PerfectLinkModel,
+)
+from repro.net.message import ENVELOPE_OVERHEAD_BYTES, Message, MessageType
+from repro.net.partition import PartitionManager
+from repro.net.topology import Site, SiteMap
+from repro.net.transport import Network
+from repro.sim.rng import RandomStreams
+from repro.types import Address
+
+
+A = Address("client", "a")
+B = Address("server", "b")
+
+
+class TestMessage:
+    def test_wire_bytes_adds_envelope(self):
+        message = Message(MessageType.PING, A, B, size_bytes=100)
+        assert message.wire_bytes == 100 + ENVELOPE_OVERHEAD_BYTES
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(MessageType.PING, A, B, size_bytes=-1)
+
+    def test_reply_swaps_endpoints(self):
+        message = Message(MessageType.PING, A, B)
+        reply = message.reply(MessageType.PONG, size_bytes=5)
+        assert reply.source == B and reply.dest == A
+        assert reply.mtype is MessageType.PONG
+
+    def test_message_ids_are_unique(self):
+        first = Message(MessageType.PING, A, B)
+        second = Message(MessageType.PING, A, B)
+        assert first.msg_id != second.msg_id
+
+
+class TestLatencyModels:
+    def test_lan_transfer_scales_with_size(self):
+        model = LanLinkModel(jitter=0.0)
+        rng = RandomStreams(0).stream("x")
+        small = model.transfer_time(A, B, 1_000, rng)
+        large = model.transfer_time(A, B, 10_000_000, rng)
+        assert large > small
+        assert small >= model.latency
+
+    def test_lan_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LanLinkModel(bandwidth_bps=0)
+
+    def test_internet_slower_than_lan_for_bulk(self):
+        rng = RandomStreams(0)
+        lan = LanLinkModel(jitter=0.0)
+        wan = InternetLinkModel(stall_probability=0.0)
+        size = 5_000_000
+        lan_time = lan.transfer_time(A, B, size, rng.stream("a"))
+        wan_time = wan.transfer_time(A, B, size, rng.stream("b"))
+        assert wan_time > lan_time
+
+    def test_internet_loss_probability_exposed(self):
+        wan = InternetLinkModel(loss=0.01)
+        assert wan.loss_probability(A, B) == 0.01
+
+    def test_perfect_model_is_free(self):
+        model = PerfectLinkModel()
+        assert model.transfer_time(A, B, 10**9, RandomStreams(0).stream("x")) == 0.0
+        assert model.loss_probability(A, B) == 0.0
+
+    def test_composite_picks_intra_or_inter(self):
+        composite = CompositeLinkModel(
+            site_of={A: "x", B: "y"},
+            intra_site=PerfectLinkModel(latency=0.001),
+            inter_site=PerfectLinkModel(latency=0.5),
+        )
+        rng = RandomStreams(0).stream("x")
+        assert composite.transfer_time(A, B, 0, rng) == 0.5
+        composite.assign(B, "x")
+        assert composite.transfer_time(A, B, 0, rng) == 0.001
+
+
+class TestSiteMap:
+    def test_place_and_lookup(self):
+        site_map = SiteMap()
+        site_map.add_site(Site("lille"))
+        site_map.place(A, "lille")
+        assert site_map.site_of(A) == "lille"
+
+    def test_place_on_unknown_site_rejected(self):
+        site_map = SiteMap()
+        with pytest.raises(ConfigurationError):
+            site_map.place(A, "nowhere")
+
+    def test_unplaced_lookup_rejected(self):
+        site_map = SiteMap()
+        site_map.add_site(Site("lille"))
+        with pytest.raises(ConfigurationError):
+            site_map.site_of(A)
+
+    def test_single_site_helper(self):
+        site_map = SiteMap.single_site("cluster")
+        site_map.place(A, "cluster")
+        site_map.place(B, "cluster")
+        assert site_map.same_site(A, B)
+
+    def test_addresses_at_site(self):
+        site_map = SiteMap()
+        site_map.add_site(Site("lille"))
+        site_map.add_site(Site("orsay"))
+        site_map.place(A, "lille")
+        site_map.place(B, "orsay")
+        assert site_map.addresses_at("lille") == [A]
+
+
+class TestPartitionManager:
+    def test_allows_by_default(self):
+        partitions = PartitionManager()
+        assert partitions.allows(A, B)
+
+    def test_one_way_hide(self):
+        partitions = PartitionManager()
+        partitions.hide(B, from_source=A)
+        assert not partitions.allows(A, B)
+        assert partitions.allows(B, A)
+
+    def test_bidirectional_hide_and_unhide(self):
+        partitions = PartitionManager()
+        partitions.hide_bidirectional(A, B)
+        assert not partitions.allows(A, B)
+        assert not partitions.allows(B, A)
+        partitions.unhide_bidirectional(A, B)
+        assert partitions.allows(A, B)
+
+    def test_named_partition_and_heal(self):
+        partitions = PartitionManager()
+        partitions.partition("split", [A], [B])
+        assert not partitions.allows(A, B)
+        partitions.heal("split")
+        assert partitions.allows(A, B)
+
+    def test_heal_all(self):
+        partitions = PartitionManager()
+        partitions.hide(B, from_source=A)
+        partitions.partition("split", [A], [B])
+        partitions.heal_all()
+        assert partitions.allows(A, B)
+
+    def test_reachability_graph_excludes_blocked_edges(self):
+        partitions = PartitionManager()
+        partitions.hide(B, from_source=A)
+        graph = partitions.reachability_graph([A, B])
+        assert not graph.has_edge(A, B)
+        assert graph.has_edge(B, A)
+
+
+class TestNetwork:
+    def test_register_and_duplicate_rejected(self, env):
+        network = Network(env)
+        network.register(A)
+        with pytest.raises(ConfigurationError):
+            network.register(A)
+
+    def test_message_delivery(self, env):
+        network = Network(env)
+        network.register(A)
+        endpoint_b = network.register(B)
+        network.send(Message(MessageType.PING, A, B, size_bytes=10))
+        env.run()
+        assert endpoint_b.delivered == 1
+        assert len(endpoint_b.mailbox) == 1
+
+    def test_unknown_destination_is_counted_dropped(self, env):
+        network = Network(env)
+        network.register(A)
+        network.send(Message(MessageType.PING, A, B))
+        env.run()
+        assert network.stats()["net.dropped.unknown_dest"] == 1
+
+    def test_partition_blocks_delivery(self, env):
+        network = Network(env)
+        network.register(A)
+        endpoint_b = network.register(B)
+        network.partitions.hide_bidirectional(A, B)
+        network.send(Message(MessageType.PING, A, B))
+        env.run()
+        assert endpoint_b.delivered == 0
+        assert network.stats()["net.dropped.partition"] >= 1
+
+    def test_down_endpoint_drops_message(self, env):
+        network = Network(env)
+        network.register(A)
+        endpoint_b = network.register(B)
+        network.set_endpoint_up(B, False)
+        network.send(Message(MessageType.PING, A, B))
+        env.run()
+        assert endpoint_b.delivered == 0
+        assert network.stats()["net.dropped.endpoint_down"] == 1
+
+    def test_endpoint_down_clears_mailbox(self, env):
+        network = Network(env)
+        network.register(A)
+        endpoint_b = network.register(B)
+        network.send(Message(MessageType.PING, A, B))
+        env.run()
+        assert len(endpoint_b.mailbox) == 1
+        endpoint_b.mark_down()
+        assert len(endpoint_b.mailbox) == 0
+
+    def test_lossy_link_eventually_drops(self, env):
+        class AlwaysLossy(PerfectLinkModel):
+            def loss_probability(self, source, dest):
+                return 1.0
+
+        network = Network(env, link_model=AlwaysLossy())
+        network.register(A)
+        endpoint_b = network.register(B)
+        for _ in range(5):
+            network.send(Message(MessageType.PING, A, B))
+        env.run()
+        assert endpoint_b.delivered == 0
+        assert network.stats()["net.dropped.loss"] == 5
+
+    def test_delivery_hook_invoked(self, env):
+        network = Network(env)
+        network.register(A)
+        network.register(B)
+        seen = []
+        network.add_delivery_hook(lambda m: seen.append(m.mtype))
+        network.send(Message(MessageType.PING, A, B))
+        env.run()
+        assert seen == [MessageType.PING]
+
+    def test_transfer_time_orders_delivery_by_size(self, env):
+        network = Network(env, link_model=LanLinkModel(jitter=0.0), rng=RandomStreams(1))
+        network.register(A)
+        endpoint_b = network.register(B)
+        network.send(Message(MessageType.PING, A, B, size_bytes=10_000_000))
+        network.send(Message(MessageType.PONG, A, B, size_bytes=10))
+        env.run()
+        first = endpoint_b.mailbox.try_get()
+        assert first.mtype is MessageType.PONG

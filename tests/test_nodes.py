@@ -1,0 +1,281 @@
+"""Tests for the volatile-node substrate (hosts, disk, database, churn, faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message, MessageType
+from repro.net.transport import Network
+from repro.nodes.churn import ExponentialChurn, NoChurn, TraceChurn, WeibullChurn
+from repro.nodes.database import Database, DatabaseModel
+from repro.nodes.disk import DiskModel
+from repro.nodes.faultgen import FaultGenerator, FaultScript, ScriptedEvent
+from repro.nodes.node import Host
+from repro.sim.core import ProcessKilled
+from repro.sim.rng import RandomStreams
+from repro.types import Address
+
+
+class TestDiskModel:
+    def test_sync_write_scales_with_size(self):
+        disk = DiskModel()
+        assert disk.sync_write_time(10**7) > disk.sync_write_time(10**3)
+
+    def test_cached_write_cheaper_than_sync(self):
+        disk = DiskModel()
+        assert disk.cached_write_sync_time(10**6) < disk.sync_write_time(10**6)
+
+    def test_background_foreground_time_is_small(self):
+        disk = DiskModel()
+        assert disk.background_write_foreground_time(10**6) < 0.1 * disk.sync_write_time(10**6)
+
+    def test_background_completion_slower_than_sync(self):
+        disk = DiskModel()
+        assert disk.background_write_completion_time(10**6) > disk.sync_write_time(10**6)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskModel(write_bandwidth_bps=0)
+        with pytest.raises(ConfigurationError):
+            DiskModel(cache_sync_fraction=2.0)
+
+
+class TestDatabase:
+    def test_write_then_read_roundtrip(self):
+        database = Database()
+        cost = database.charge_write("k", {"state": "pending"}, 300)
+        assert cost > 0
+        record, read_cost = database.charge_read("k", 300)
+        assert record == {"state": "pending"}
+        assert read_cost > 0
+
+    def test_missing_key_reads_none(self):
+        database = Database()
+        record, _ = database.charge_read("missing")
+        assert record is None
+
+    def test_scan_cost_grows_with_records(self):
+        database = Database()
+        empty_scan = database.charge_scan()
+        for index in range(1000):
+            database.charge_write(index, {}, 10)
+        assert database.charge_scan() > empty_scan
+
+    def test_time_charged_accumulates(self):
+        database = Database()
+        database.charge_write("a", {}, 100)
+        database.charge_write("b", {}, 100)
+        assert database.time_charged == pytest.approx(2 * database.model.write_time(100))
+
+    def test_uncharged_accessors(self):
+        database = Database()
+        database.charge_write("a", {"x": 1}, 10)
+        assert database.contains("a")
+        assert database.get("a") == {"x": 1}
+        assert database.keys() == ["a"]
+        assert len(database) == 1
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatabaseModel(write_op_latency=-1.0)
+
+
+class TestChurn:
+    def test_no_churn_is_eternal(self):
+        model = NoChurn()
+        rng = RandomStreams(0)
+        assert model.uptime(rng, "n") == float("inf")
+
+    def test_exponential_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialChurn(mtbf=0)
+
+    def test_exponential_draws_positive(self):
+        model = ExponentialChurn(mtbf=100.0, mttr=10.0)
+        rng = RandomStreams(1)
+        assert model.uptime(rng, "n") > 0
+        assert model.downtime(rng, "n") > 0
+
+    def test_exponential_permanent_fraction_one_never_returns(self):
+        model = ExponentialChurn(mtbf=100.0, mttr=10.0, permanent_fraction=1.0)
+        assert model.downtime(RandomStreams(1), "n") == float("inf")
+
+    def test_weibull_draws_positive(self):
+        model = WeibullChurn()
+        rng = RandomStreams(2)
+        assert model.uptime(rng, "n") > 0
+        assert model.downtime(rng, "n") > 0
+
+    def test_trace_churn_replays_and_cycles(self):
+        model = TraceChurn(pairs=[(10.0, 1.0), (20.0, 2.0)])
+        rng = RandomStreams(0)
+        ups = [model.uptime(rng, "n") for _ in range(3)]
+        downs = []
+        model2 = TraceChurn(pairs=[(10.0, 1.0), (20.0, 2.0)])
+        for _ in range(3):
+            model2.uptime(rng, "m")
+            downs.append(model2.downtime(rng, "m"))
+        assert ups == [10.0, 20.0, 10.0]
+        assert downs == [1.0, 2.0, 1.0]
+
+    def test_trace_churn_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            TraceChurn(pairs=[])
+
+
+class TestHost:
+    def _host(self, env, name="h0"):
+        network = Network(env)
+        return Host(env, network, Address("server", name), rng=RandomStreams(0))
+
+    def test_spawn_and_run_process(self, env):
+        host = self._host(env)
+
+        def proc():
+            yield host.sleep(2.0)
+            return env.now
+
+        process = host.spawn(proc())
+        env.run()
+        assert process.value == 2.0
+
+    def test_crash_kills_processes_and_mailbox(self, env):
+        host = self._host(env)
+        other = Host(env, host.network, Address("client", "c"), rng=RandomStreams(1))
+
+        def long_runner():
+            try:
+                yield host.sleep(100.0)
+                return "finished"
+            except ProcessKilled:  # pragma: no cover - killed silently
+                return "killed"
+
+        process = host.spawn(long_runner())
+        other.send(Message(MessageType.PING, other.address, host.address))
+        env.run(until=1.0)
+        host.crash()
+        env.run()
+        assert not process.is_alive
+        assert not host.up
+        assert len(host.endpoint.mailbox) == 0
+        assert host.crash_count == 1
+
+    def test_crash_preserves_persistent_state(self, env):
+        host = self._host(env)
+        host.persistent["log"] = {"a": 1}
+        host.volatile["cache"] = "x"
+        host.crash()
+        assert host.persistent == {"log": {"a": 1}}
+        assert host.volatile == {}
+
+    def test_restart_invokes_callback_and_bumps_incarnation(self, env):
+        host = self._host(env)
+        calls = []
+        host.on_restart(lambda h: calls.append(h.incarnation))
+        host.crash()
+        host.restart()
+        assert host.up
+        assert host.incarnation == 1
+        assert calls == [1]
+
+    def test_spawn_on_crashed_host_rejected(self, env):
+        host = self._host(env)
+        host.crash()
+        with pytest.raises(ConfigurationError):
+            host.spawn((x for x in []))
+
+    def test_send_while_down_is_dropped(self, env):
+        host = self._host(env)
+        other = Host(env, host.network, Address("client", "c"), rng=RandomStreams(1))
+        host.crash()
+        host.send(Message(MessageType.PING, host.address, other.address))
+        env.run()
+        assert other.endpoint.delivered == 0
+
+    def test_availability_tracks_downtime(self, env):
+        host = self._host(env)
+        env.run(until=10.0)
+        host.crash()
+        env.timeout(10.0)
+        env.run(until=20.0)
+        assert host.availability() == pytest.approx(0.5)
+
+    def test_disk_write_takes_time(self, env):
+        host = self._host(env)
+
+        def proc():
+            yield from host.disk_write(10_000_000)
+            return env.now
+
+        process = host.spawn(proc())
+        env.run()
+        assert process.value == pytest.approx(host.disk.sync_write_time(10_000_000))
+
+
+class TestFaultGenerator:
+    def _hosts(self, env, count=4):
+        network = Network(env)
+        return [
+            Host(env, network, Address("server", f"s{i}"), rng=RandomStreams(i))
+            for i in range(count)
+        ]
+
+    def test_zero_rate_injects_nothing(self, env):
+        hosts = self._hosts(env)
+        generator = FaultGenerator(env, hosts, RandomStreams(0), faults_per_minute=0.0)
+        generator.start()
+        env.run(until=600.0)
+        assert generator.injected == 0
+
+    def test_positive_rate_injects_and_restarts(self, env):
+        hosts = self._hosts(env)
+        generator = FaultGenerator(
+            env, hosts, RandomStreams(3), faults_per_minute=30.0, restart_delay=1.0
+        )
+        generator.start()
+        env.run(until=300.0)
+        generator.stop()
+        env.run(until=400.0)
+        assert generator.injected > 0
+        assert all(host.up for host in hosts)
+
+    def test_manual_kill_and_permanent_failure(self, env):
+        hosts = self._hosts(env, count=1)
+        generator = FaultGenerator(env, hosts, RandomStreams(0))
+        generator.kill(hosts[0], restart_after=float("inf"))
+        env.run(until=100.0)
+        assert not hosts[0].up
+
+    def test_negative_rate_rejected(self, env):
+        with pytest.raises(ConfigurationError):
+            FaultGenerator(env, [], RandomStreams(0), faults_per_minute=-1.0)
+
+
+class TestFaultScript:
+    def test_scripted_kill_and_restart(self, env):
+        network = Network(env)
+        host = Host(env, network, Address("coordinator", "k0"), rng=RandomStreams(0))
+        script = FaultScript()
+        script.kill(10.0, str(host.address)).restart(20.0, str(host.address))
+        script.install(env, [host])
+        env.run(until=15.0)
+        assert not host.up
+        env.run(until=25.0)
+        assert host.up
+
+    def test_unknown_target_raises(self, env):
+        script = FaultScript().kill(1.0, "coordinator:nowhere")
+        script.install(env, [])
+        with pytest.raises(ConfigurationError):
+            env.run(until=5.0)
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedEvent(time=-1.0, action="kill", target="x")
+        with pytest.raises(ConfigurationError):
+            ScriptedEvent(time=1.0, action="explode", target="x")  # type: ignore[arg-type]
+
+    def test_targets_listed(self):
+        script = FaultScript().kill(1.0, "a").restart(2.0, "b")
+        assert script.targets() == {"a", "b"}

@@ -1,0 +1,383 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    ProcessKilled,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.store import FilterStore, PriorityStore, Store, StoreClosed
+
+
+class TestEvents:
+    def test_event_starts_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+        assert event.ok
+
+    def test_double_trigger_rejected(self, env):
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_value_before_trigger_raises(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_negative_timeout_rejected(self, env):
+        with pytest.raises(SimulationError):
+            Timeout(env, -1.0)
+
+    def test_timeout_fires_at_delay(self, env):
+        timeout = env.timeout(5.0, value="done")
+        env.run()
+        assert timeout.processed
+        assert timeout.value == "done"
+        assert env.now == 5.0
+
+
+class TestProcesses:
+    def test_process_advances_time(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+            return env.now
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == 3.0
+
+    def test_process_return_value(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            return "result"
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == "result"
+
+    def test_process_is_waitable(self, env):
+        def child():
+            yield env.timeout(2.0)
+            return 7
+
+        def parent():
+            value = yield env.process(child())
+            return value * 2
+
+        process = env.process(parent())
+        env.run()
+        assert process.value == 14
+
+    def test_yield_non_event_raises_inside_process(self, env):
+        def proc():
+            yield 42  # type: ignore[misc]
+
+        process = env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run()
+        assert not process.is_alive
+
+    def test_interrupt_delivers_cause(self, env):
+        observed = {}
+
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                observed["cause"] = interrupt.cause
+                return "interrupted"
+
+        def attacker(target):
+            yield env.timeout(1.0)
+            target.interrupt(cause="boom")
+
+        victim_process = env.process(victim())
+        env.process(attacker(victim_process))
+        env.run()
+        assert observed["cause"] == "boom"
+        assert victim_process.value == "interrupted"
+
+    def test_kill_silences_process(self, env):
+        def victim():
+            yield env.timeout(100.0)
+            return "never"
+
+        process = env.process(victim())
+        env.run(until=1.0)
+        process.kill("crash")
+        env.run()
+        assert not process.is_alive
+        assert process.value is None
+
+    def test_kill_after_termination_is_noop(self, env):
+        def quick():
+            yield env.timeout(1.0)
+
+        process = env.process(quick())
+        env.run()
+        process.kill()
+        env.run()
+        assert not process.is_alive
+
+    def test_process_failure_propagates_to_run(self, env):
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("bad")
+
+        env.process(failing())
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_waiting_on_failing_process_reraises_in_parent(self, env):
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("inner")
+
+        def parent():
+            try:
+                yield env.process(failing())
+            except ValueError:
+                return "caught"
+
+        process = env.process(parent())
+        env.run()
+        assert process.value == "caught"
+
+    def test_processkilled_escaping_generator_is_silenced(self, env):
+        def stubborn():
+            while True:
+                try:
+                    yield env.timeout(10.0)
+                except ProcessKilled:
+                    raise
+
+        process = env.process(stubborn())
+        env.run(until=5.0)
+        process.kill()
+        env.run()
+        assert not process.is_alive
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self, env):
+        def proc():
+            first = env.timeout(1.0, value="fast")
+            second = env.timeout(5.0, value="slow")
+            yield env.any_of([first, second])
+            return env.now
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == 1.0
+
+    def test_all_of_waits_for_every_event(self, env):
+        def proc():
+            events = [env.timeout(t) for t in (1.0, 2.0, 3.0)]
+            yield env.all_of(events)
+            return env.now
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == 3.0
+
+    def test_empty_condition_triggers_immediately(self, env):
+        condition = AllOf(env, [])
+        assert condition.triggered
+
+    def test_anyof_with_already_processed_event(self, env):
+        timeout = env.timeout(1.0)
+        env.run()
+
+        def proc():
+            yield AnyOf(env, [timeout, env.timeout(10.0)])
+            return env.now
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == 1.0
+
+
+class TestEnvironment:
+    def test_run_until_time_advances_clock(self, env):
+        env.timeout(100.0)
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_raises(self, env):
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_step_on_empty_schedule_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek_on_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_run_until_event_returns_its_value(self, env):
+        def proc():
+            yield env.timeout(2.0)
+            return "value"
+
+        process = env.process(proc())
+        assert env.run(until=process) == "value"
+
+    def test_fifo_tie_break_for_simultaneous_events(self, env):
+        order = []
+
+        def maker(tag):
+            def proc():
+                yield env.timeout(1.0)
+                order.append(tag)
+
+            return proc
+
+        for tag in ("a", "b", "c"):
+            env.process(maker(tag)())
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_idle_counts_events(self, env):
+        env.timeout(1.0)
+        env.timeout(2.0)
+        assert env.run_until_idle() == 2
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("x")
+
+        def proc():
+            item = yield store.get()
+            return item
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == "x"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def getter():
+            item = yield store.get()
+            return (env.now, item)
+
+        def putter():
+            yield env.timeout(3.0)
+            store.put("late")
+
+        get_process = env.process(getter())
+        env.process(putter())
+        env.run()
+        assert get_process.value == (3.0, "late")
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+        got = []
+
+        def proc():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(proc())
+        env.run()
+        assert got == [1, 2, 3]
+
+    def test_try_get_nonblocking(self, env):
+        store = Store(env)
+        assert store.try_get() is None
+        store.put("a")
+        assert store.try_get() == "a"
+
+    def test_capacity_rejects_extra_items(self, env):
+        store = Store(env, capacity=1)
+        ok = store.put("one")
+        full = store.put("two")
+        assert ok.ok
+        assert not full.ok
+        assert len(store) == 1
+
+    def test_clear_drops_items(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_close_fails_pending_getters(self, env):
+        store = Store(env)
+
+        def proc():
+            try:
+                yield store.get()
+            except StoreClosed:
+                return "closed"
+
+        process = env.process(proc())
+        env.run(until=1.0)
+        store.close()
+        env.run()
+        assert process.value == "closed"
+
+    def test_reopen_accepts_puts_again(self, env):
+        store = Store(env)
+        store.close()
+        assert not store.put("x").ok
+        store.reopen()
+        assert store.put("x").ok
+
+    def test_filter_store_selects_matching_item(self, env):
+        store = FilterStore(env)
+        store.put({"kind": "a"})
+        store.put({"kind": "b"})
+
+        def proc():
+            item = yield store.get(lambda i: i["kind"] == "b")
+            return item
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == {"kind": "b"}
+
+    def test_priority_store_orders_by_priority(self, env):
+        store = PriorityStore(env)
+        store.put("low", priority=10)
+        store.put("high", priority=1)
+        got = []
+
+        def proc():
+            for _ in range(2):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(proc())
+        env.run()
+        assert got == ["high", "low"]

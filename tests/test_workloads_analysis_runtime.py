@@ -1,0 +1,256 @@
+"""Tests for workloads, config validation, analysis helpers, realtime driver,
+and smoke tests of the experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    completion_curve_lag,
+    makespan_overhead,
+    plateaux_count,
+    summarize_series,
+)
+from repro.config import (
+    ClientConfig,
+    CoordinatorConfig,
+    FaultDetectionConfig,
+    LoggingConfig,
+    ProtocolConfig,
+    ReplicationConfig,
+    SchedulerConfig,
+    ServerConfig,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    run_baseline_ablation,
+    run_detector_ablation,
+    run_fig4_vs_size,
+    run_fig5_vs_count,
+    run_fig6_vs_calls,
+    run_fig7,
+    run_fig8,
+)
+from repro.experiments.common import format_rows, mean
+from repro.runtime import RealTimeDriver
+from repro.sim.core import Environment
+from repro.sim.monitor import TimeSeries
+from repro.types import LoggingStrategy
+from repro.workloads import AlcatelWorkload, SyntheticWorkload, geometric_counts, geometric_sizes
+from repro.workloads.sweep import fault_frequencies
+
+
+class TestConfigValidation:
+    def test_default_protocol_validates(self):
+        assert ProtocolConfig().validate() is not None
+
+    def test_detection_timeout_must_exceed_heartbeat(self):
+        with pytest.raises(ConfigurationError):
+            FaultDetectionConfig(heartbeat_period=10.0, suspicion_timeout=5.0).validate()
+
+    def test_logging_capacity_positive(self):
+        with pytest.raises(ConfigurationError):
+            LoggingConfig(capacity_bytes=0).validate()
+
+    def test_replication_period_positive(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(period=0.0).validate()
+
+    def test_scheduler_policy_known(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(policy="lifo").validate()
+
+    def test_client_poll_period_positive(self):
+        with pytest.raises(ConfigurationError):
+            ClientConfig(result_poll_period=0.0).validate()
+
+    def test_server_slots_positive(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(slots=0).validate()
+
+    def test_coordinator_overhead_non_negative(self):
+        config = CoordinatorConfig()
+        config.request_processing_overhead = -1.0
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_with_logging_strategy_copies(self):
+        base = ProtocolConfig()
+        copy = base.with_logging_strategy(LoggingStrategy.OPTIMISTIC)
+        assert copy.client.logging.strategy is LoggingStrategy.OPTIMISTIC
+        assert base.client.logging.strategy is not LoggingStrategy.OPTIMISTIC
+
+    def test_describe_reports_key_settings(self):
+        description = ProtocolConfig().describe()
+        assert "logging_strategy" in description
+        assert "replication_period" in description
+
+
+class TestWorkloads:
+    def test_synthetic_metrics_nan_before_run(self):
+        workload = SyntheticWorkload()
+        assert np.isnan(workload.submission_time)
+        assert np.isnan(workload.makespan)
+
+    def test_alcatel_durations_are_deterministic_per_seed(self):
+        a = AlcatelWorkload(n_tasks=100, seed=1).durations()
+        b = AlcatelWorkload(n_tasks=100, seed=1).durations()
+        c = AlcatelWorkload(n_tasks=100, seed=2).durations()
+        assert np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_alcatel_distribution_is_wide_and_right_skewed(self):
+        workload = AlcatelWorkload(n_tasks=1000, seed=42)
+        stats = workload.duration_stats()
+        assert stats["max"] > 4 * stats["median"]
+        assert stats["mean"] > stats["median"]
+        assert stats["min"] > 0
+
+    def test_alcatel_histogram_counts_sum_to_tasks(self):
+        workload = AlcatelWorkload(n_tasks=500, seed=3)
+        counts, edges = workload.duration_histogram(bins=15)
+        assert counts.sum() == 500
+        assert len(edges) == 16
+
+    def test_geometric_sizes_are_increasing_and_span_decades(self):
+        sizes = geometric_sizes(100, 100_000_000)
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 100
+        assert sizes[-1] == 100_000_000
+
+    def test_geometric_counts_default(self):
+        assert geometric_counts() == [1, 10, 100, 1000]
+
+    def test_fault_frequencies_range(self):
+        frequencies = fault_frequencies(10.0, 2.0)
+        assert frequencies[0] == 0.0
+        assert frequencies[-1] == 10.0
+
+    def test_sweep_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(0, 10)
+        with pytest.raises(ValueError):
+            geometric_counts(10, 1)
+        with pytest.raises(ValueError):
+            fault_frequencies(-1.0)
+
+
+class TestAnalysis:
+    def test_makespan_overhead(self):
+        assert makespan_overhead(69.0, 60.0) == pytest.approx(0.15)
+        with pytest.raises(ValueError):
+            makespan_overhead(1.0, 0.0)
+
+    def test_completion_curve_lag(self):
+        lag = completion_curve_lag([0, 10, 20, 30], [0, 0, 20, 30])
+        assert lag["max_lag_tasks"] == 10
+        assert lag["final_gap_tasks"] == 0
+
+    def test_completion_curve_lag_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            completion_curve_lag([1, 2], [1, 2, 3])
+
+    def test_plateaux_count(self):
+        assert plateaux_count([0, 0, 1, 1, 1, 2, 3, 3]) == 3
+        assert plateaux_count([1, 2, 3, 4]) == 0
+        assert plateaux_count([]) == 0
+
+    def test_summarize_series(self):
+        series = TimeSeries("s")
+        series.record(0.0, 0.0)
+        series.record(10.0, 5.0)
+        summary = summarize_series(series)
+        assert summary["samples"] == 2
+        assert summary["final_value"] == 5.0
+
+    def test_summarize_empty_series(self):
+        assert summarize_series(TimeSeries("empty"))["samples"] == 0
+
+    def test_mean_and_format_rows(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+        table = format_rows([{"a": 1, "b": 2.5}], title="t")
+        assert "a" in table and "t" in table
+
+
+class TestRealTimeDriver:
+    def test_paces_events_against_wall_clock(self):
+        env = Environment()
+        sleeps: list[float] = []
+        clock = {"now": 0.0}
+
+        def fake_sleep(duration: float) -> None:
+            sleeps.append(duration)
+            clock["now"] += duration
+
+        def fake_clock() -> float:
+            return clock["now"]
+
+        env.timeout(1.0)
+        env.timeout(2.0)
+        driver = RealTimeDriver(env, speedup=2.0, sleep=fake_sleep, clock=fake_clock)
+        processed = driver.run(until=2.0)
+        assert processed == 2
+        assert env.now == 2.0
+        assert sum(sleeps) == pytest.approx(1.0)  # 2 virtual seconds at 2x speed
+
+    def test_invalid_speedup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RealTimeDriver(Environment(), speedup=0.0)
+
+
+class TestExperimentSmoke:
+    def test_fig4_rows_have_three_strategies(self):
+        rows = run_fig4_vs_size(sizes=[1000], n_calls=2)
+        assert len(rows) == 1
+        row = rows[0]
+        for strategy in LoggingStrategy:
+            assert row[strategy.value] > 0
+
+    def test_fig5_replication_time_grows_with_count(self):
+        rows = run_fig5_vs_count(counts=[2, 64], environments=("confined",))
+        assert rows[1]["confined"] > rows[0]["confined"]
+
+    def test_fig6_reports_both_directions(self):
+        rows = run_fig6_vs_calls(counts=[2])
+        assert rows[0]["client_logs"] > 0
+        assert rows[0]["coordinator_logs"] > 0
+
+    def test_fig7_small_scale_monotonic_in_presence_of_faults(self):
+        rows = run_fig7(
+            frequencies=[0.0, 10.0],
+            seeds=(3,),
+            n_calls=8,
+            exec_time=2.0,
+            n_servers=4,
+            n_coordinators=2,
+            horizon=2000.0,
+        )
+        assert rows[0]["faulty_servers_seconds"] <= rows[1]["faulty_servers_seconds"]
+        assert rows[1]["faulty_servers_completed"]
+
+    def test_fig8_histogram_covers_all_tasks(self):
+        result = run_fig8(n_tasks=200, bins=10)
+        assert sum(r["tasks"] for r in result["histogram"]) == 200
+        assert result["stats"]["count"] == 200
+
+    def test_detector_ablation_tradeoff(self):
+        rows = run_detector_ablation(
+            heartbeat_periods=(5.0,), timeout_multipliers=(2.0, 12.0)
+        )
+        tight, loose = rows[0], rows[1]
+        # A tighter timeout detects faster but is (weakly) more suspicious.
+        assert tight["detection_latency_seconds"] <= loose["detection_latency_seconds"]
+        assert tight["wrong_suspicion_checks"] >= loose["wrong_suspicion_checks"]
+
+    def test_baseline_ablation_reports_all_systems(self):
+        rows = run_baseline_ablation(
+            faults_per_minute=0.0, seeds=(3,), n_calls=8, exec_time=1.0, horizon=1000.0
+        )
+        assert {row["system"] for row in rows} == {
+            "rpc-v",
+            "no-replication",
+            "netsolve-style",
+        }
+        assert all(row["mean_completion_ratio"] == 1.0 for row in rows)
