@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Gate kernel-benchmark regressions against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE.json FRESH.json \
+        [--max-regression 0.20]
+
+Compares the per-scale ``events_per_sec`` of a freshly produced
+``BENCH_kernel.json`` (see ``benchmarks/test_perf_kernel.py``) against the
+committed baseline and exits non-zero when any scale regressed by more than
+``--max-regression`` (a fraction; default 20%).  Speed-ups and small noise
+are reported but never fail the gate; the machine-independent ``speedup``
+ratio of the 1k comparison is also checked against the floor the benchmark
+recorded in its own output (``min_speedup``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path, help="committed BENCH_kernel.json")
+    parser.add_argument("fresh", type=Path, help="freshly generated BENCH_kernel.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional events/sec drop per scale (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    failures: list[str] = []
+
+    for scale, base in sorted(baseline["scales"].items(), key=lambda kv: int(kv[0])):
+        new = fresh["scales"].get(scale)
+        if new is None:
+            failures.append(f"scale {scale}: missing from fresh results")
+            continue
+        base_eps = float(base["events_per_sec"])
+        new_eps = float(new["events_per_sec"])
+        drop = (base_eps - new_eps) / base_eps
+        status = "ok" if drop <= args.max_regression else "REGRESSION"
+        print(
+            f"scale {scale:>5}: baseline {base_eps:>10.0f} ev/s, "
+            f"fresh {new_eps:>10.0f} ev/s, change {-drop:+.1%} [{status}]"
+        )
+        if drop > args.max_regression:
+            failures.append(
+                f"scale {scale}: events/sec dropped {drop:.1%} "
+                f"(max allowed {args.max_regression:.0%})"
+            )
+
+    speedup = float(fresh.get("comparison_1k", {}).get("speedup", 0.0))
+    floor = float(fresh.get("min_speedup", baseline.get("min_speedup", 2.0)))
+    print(f"1k-node speedup vs legacy kernel: {speedup:.2f}x (floor {floor}x)")
+    if speedup < floor:
+        failures.append(f"speedup {speedup:.2f}x below the {floor}x floor")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,194 @@
+"""Kernel performance benchmark: cancellable waits vs. the pre-PR leaky kernel.
+
+The RPC-V protocol is timeout-driven end to end: one end-to-end RPC races its
+reply against a *ladder* of per-tier timers (client submission retry, server
+work-request retry, server upload retry, client result wait, coordinator
+replication-ack suspicion, ...).  Before timers became cancellable, every won
+race abandoned the whole ladder: the dead timers stayed in the event heap
+until their (much later) expiry, each firing a stale condition callback when
+it finally surfaced.  This benchmark quantifies exactly that difference:
+
+* **cancellable** (the shipped kernel): the winning reply detaches the
+  condition from the losers, the abandon cascade tombstones them, and the
+  compactor removes the tombstones in bulk — the heap stays at live size;
+* **legacy** (a faithful emulation of the pre-PR kernel's ``AnyOf``): the
+  condition never detaches, nothing is cancelled, and every abandoned timer
+  is eventually popped and processed as garbage.
+
+Both modes run the identical logical workload, so *useful* throughput —
+events a leak-free kernel must process per wall-clock second — is directly
+comparable: the ratio of the two is the speedup the cancellable kernel buys.
+
+Running this file writes ``BENCH_kernel.json`` at the repository root with
+events/sec, peak heap size, and the live-vs-dead heap occupancy at 100, 1k
+and 5k nodes; CI diffs it against the committed baseline and fails on a >20%
+events/sec regression (see ``benchmarks/check_bench_regression.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.sim.core import AnyOf, Environment, Event, Timeout
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+#: virtual time until the reply wins each race.
+REPLY_DELAY = 0.05
+#: one abandoned timer per protocol tier for every end-to-end RPC
+#: (submission retry, work-request retry, upload retry, poll period,
+#: replication-ack suspicion, client-side result wait).
+TIMER_LADDER = (5.0, 5.0, 5.0, 10.0, 30.0, 60.0)
+#: nodes -> rounds per node (rounds shrink at the top scale to bound runtime).
+SCALES = {100: 100, 1000: 100, 5000: 40}
+COMPARISON_NODES = 1000
+#: acceptance floor: the cancellable kernel must at least double useful
+#: throughput at the 1k-node scenario.
+MIN_SPEEDUP = 2.0
+#: sampling period (virtual seconds) for heap-occupancy snapshots.
+SAMPLE_PERIOD = 1.0
+
+
+def _legacy_any_of(env: Environment, events: list[Event]) -> Event:
+    """The pre-PR kernel's AnyOf semantics: subscribe everywhere, never detach.
+
+    Losing events keep the stale ``check`` callback forever; losing timers
+    stay in the heap until expiry and are processed as garbage.
+    """
+    condition = Event(env)
+
+    def check(event: Event) -> None:
+        if not condition.triggered:
+            condition.succeed(event.value)
+
+    for event in events:
+        event.callbacks.append(check)  # type: ignore[union-attr]
+    return condition
+
+
+def _node_cancellable(env: Environment, rounds: int):
+    for _ in range(rounds):
+        race = [Timeout(env, REPLY_DELAY)]
+        race += [Timeout(env, delay) for delay in TIMER_LADDER]
+        # The reply wins; AnyOf detaches from the ladder, whose timers are
+        # then cancelled through the abandon cascade.
+        yield AnyOf(env, race)
+
+
+def _node_legacy(env: Environment, rounds: int):
+    for _ in range(rounds):
+        race = [Timeout(env, REPLY_DELAY)]
+        race += [Timeout(env, delay) for delay in TIMER_LADDER]
+        yield _legacy_any_of(env, race)
+
+
+def _heap_sampler(env: Environment, samples: list[dict]):
+    while True:
+        yield Timeout(env, SAMPLE_PERIOD)
+        samples.append(env.queue_stats())
+
+
+def _run_scenario(nodes: int, rounds: int, legacy: bool) -> dict:
+    env = Environment()
+    node = _node_legacy if legacy else _node_cancellable
+    workers = [env.process(node(env, rounds)) for _ in range(nodes)]
+    samples: list[dict] = []
+    sampler = env.process(_heap_sampler(env, samples))
+
+    start = time.perf_counter()
+    # Run until every worker finished, then let the sampler's pending tick
+    # (and, in legacy mode, the garbage backlog) drain on the same clock.
+    env.run(until=env.all_of(workers))
+    sampler.kill()
+    env.run()
+    wall = time.perf_counter() - start
+
+    end_stats = env.queue_stats()
+    max_live = max((s["live_entries"] for s in samples), default=0)
+    max_dead = max((s["dead_entries"] for s in samples), default=0)
+    max_heap = max((s["heap_size"] for s in samples), default=0)
+    return {
+        "nodes": nodes,
+        "rounds_per_node": rounds,
+        "wall_seconds": round(wall, 4),
+        "events_processed": end_stats["events_processed"],
+        "peak_heap_size": end_stats["peak_heap_size"],
+        "compactions": end_stats["compactions"],
+        "sampled_max_live_entries": max_live,
+        "sampled_max_dead_entries": max_dead,
+        "sampled_max_heap_size": max_heap,
+        # dead entries relative to live ones while the workload was running:
+        # ~0 for the cancellable kernel, >>1 for the leaky one.
+        "dead_to_live_ratio": round(max_dead / max_live, 4) if max_live else 0.0,
+    }
+
+
+def _useful_events(nodes: int, rounds: int) -> int:
+    """Events a leak-free kernel must process for this workload.
+
+    Per round: the reply timeout plus the condition it triggers.  Per node:
+    the initialisation event and the process-termination event.  (The heap
+    sampler's ticks are excluded — they are measurement overhead, identical
+    in both modes and negligible at these scales.)
+    """
+    return nodes * (2 * rounds + 2)
+
+
+def test_kernel_benchmark_writes_bench_json_and_beats_legacy():
+    scales = {}
+    for nodes, rounds in SCALES.items():
+        result = _run_scenario(nodes, rounds, legacy=False)
+        useful = _useful_events(nodes, rounds)
+        result["useful_events"] = useful
+        result["events_per_sec"] = round(useful / result["wall_seconds"], 1)
+        scales[str(nodes)] = result
+
+        # Leak-freedom invariants: the heap never grows past a small multiple
+        # of the live population, and tombstones never dominate the samples.
+        assert result["peak_heap_size"] < 16 * nodes, result
+        # Compaction triggers once tombstones reach the live population, so
+        # sampled dead can brush against live but never dominate it.
+        assert result["dead_to_live_ratio"] < 1.5, result
+
+    # Head-to-head against the pre-PR kernel emulation at the 1k scenario.
+    rounds = SCALES[COMPARISON_NODES]
+    useful = _useful_events(COMPARISON_NODES, rounds)
+    legacy = _run_scenario(COMPARISON_NODES, rounds, legacy=True)
+    cancellable = scales[str(COMPARISON_NODES)]
+    legacy["useful_events"] = useful
+    legacy["events_per_sec"] = round(useful / legacy["wall_seconds"], 1)
+    speedup = legacy["wall_seconds"] / cancellable["wall_seconds"]
+
+    payload = {
+        "benchmark": "kernel-cancellable-timers",
+        "reply_delay": REPLY_DELAY,
+        "timer_ladder": list(TIMER_LADDER),
+        # single source of truth for the gate's speedup floor
+        "min_speedup": MIN_SPEEDUP,
+        "metric": (
+            "events_per_sec = useful events (reply + condition per round, "
+            "init + termination per node) / wall seconds"
+        ),
+        "scales": scales,
+        "comparison_1k": {
+            "nodes": COMPARISON_NODES,
+            "rounds_per_node": rounds,
+            "legacy_events_per_sec": legacy["events_per_sec"],
+            "cancellable_events_per_sec": cancellable["events_per_sec"],
+            "legacy_peak_heap_size": legacy["peak_heap_size"],
+            "cancellable_peak_heap_size": cancellable["peak_heap_size"],
+            "speedup": round(speedup, 2),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nBENCH_kernel.json: {json.dumps(payload['comparison_1k'], indent=2)}")
+
+    # The legacy heap bloats with the full abandoned-timer backlog; the
+    # cancellable heap stays at roughly the live population.
+    assert legacy["peak_heap_size"] > 20 * cancellable["peak_heap_size"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"cancellable kernel only {speedup:.2f}x faster than the legacy "
+        f"kernel at {COMPARISON_NODES} nodes (need >= {MIN_SPEEDUP}x)"
+    )

@@ -143,7 +143,9 @@ class GridRpc:
             if handle.done:
                 return handle_id, handle.result
         events = [h.completed_event for h in handles]
-        yield self._client.env.any_of(events)
+        # wait_any detaches from the losing handles' completion events, so a
+        # broad race does not leave stale callbacks on long-lived handles.
+        yield from self._client.env.wait_any(events)
         for handle_id, handle in zip(ids, handles):
             if handle.done:
                 return handle_id, handle.result

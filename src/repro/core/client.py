@@ -128,6 +128,8 @@ class ClientComponent:
         """
         self._init_volatile()
         self.started = True
+        if self._heartbeat is not None:
+            self._heartbeat.stop()
         for coordinator in self.registry.known():
             self.detector.watch(coordinator, self.env.now)
         self.host.spawn(self._recv_loop(), name=f"{self.address}:recv")
@@ -211,8 +213,7 @@ class ClientComponent:
         if timeout is None:
             yield handle.completed_event
             return handle.result
-        expiry = self.env.timeout(timeout)
-        yield self.env.any_of([handle.completed_event, expiry])
+        yield from self.env.wait_any([handle.completed_event], timeout=timeout)
         if not handle.done:
             raise RPCTimeout(f"RPC {handle.identity} not completed within {timeout}s")
         return handle.result
@@ -267,10 +268,15 @@ class ClientComponent:
                 )
             )
             self.monitor.incr("client.submissions_sent")
-            expiry = self.env.timeout(self.config.request_retry)
-            yield self.env.any_of([ack_event, expiry])
+            yield from self.env.wait_any(
+                [ack_event], timeout=self.config.request_retry
+            )
             if ack_event.triggered:
                 break
+            # Timed out: withdraw the stale waiter before the retry installs
+            # a fresh one (a late ack must not resume an abandoned round).
+            if self._ack_waiters.get(timestamp) is ack_event:
+                self._ack_waiters.pop(timestamp)
             self.monitor.incr("client.submission_retries")
             self._after_request_timeout(coordinator)
 
@@ -344,8 +350,7 @@ class ClientComponent:
                 size_bytes=64 + 8 * len(durable_keys),
             )
         )
-        expiry = self.env.timeout(self.config.request_retry)
-        yield self.env.any_of([reply_event, expiry])
+        yield from self.env.wait_any([reply_event], timeout=self.config.request_retry)
         if reply_event in self._sync_waiters:
             self._sync_waiters.remove(reply_event)
         if not reply_event.triggered:

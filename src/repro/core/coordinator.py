@@ -92,6 +92,7 @@ class CoordinatorComponent:
         #: key -> last time the assigned server reported working on the task.
         self._task_activity: dict[tuple, float] = {}
         self._replication_rounds = 0
+        self._coord_heartbeat: HeartbeatEmitter | None = None
         self.started = False
 
         host.on_restart(lambda _host: self.start())
@@ -109,6 +110,8 @@ class CoordinatorComponent:
         self._archive_fetch_attempts = {}
         self._task_activity = {}
         self.started = True
+        if self._coord_heartbeat is not None:
+            self._coord_heartbeat.stop()
         self.host.spawn(self._recv_loop(), name=f"{self.name}:recv")
         self.host.spawn(self._server_watch_loop(), name=f"{self.name}:server-watch")
         if self.config.replication.enabled:
@@ -549,8 +552,9 @@ class CoordinatorComponent:
             )
         )
         self.monitor.incr("coordinator.replications")
-        expiry = self.env.timeout(self.config.detection.suspicion_timeout)
-        yield self.env.any_of([ack_event, expiry])
+        yield from self.env.wait_any(
+            [ack_event], timeout=self.config.detection.suspicion_timeout
+        )
         self._replica_ack_waiters.pop(round_id, None)
         if ack_event.triggered:
             self.coordinator_detector.heard_from(successor, self.env.now)

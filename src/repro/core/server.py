@@ -68,6 +68,8 @@ class ServerComponent:
         self.current_task = None
         self._reply_waiters = []
         self.started = True
+        if self._heartbeat is not None:
+            self._heartbeat.stop()
         for coordinator in self.registry.known():
             self.detector.watch(coordinator, self.env.now)
         self.host.spawn(self._recv_loop(), name=f"{self.name}:recv")
@@ -129,8 +131,7 @@ class ServerComponent:
         waiter = self.env.event()
         self._reply_waiters.append((expected, waiter))
         self.host.send(message)
-        expiry = self.env.timeout(timeout)
-        yield self.env.any_of([waiter, expiry])
+        yield from self.env.wait_any([waiter], timeout=timeout)
         if waiter.triggered:
             return waiter.value
         if (expected, waiter) in self._reply_waiters:

@@ -6,16 +6,28 @@ small process fragment a component attaches to its host; the target list is a
 callable so that it always reflects the component's *current* preferred
 coordinator (which changes on suspicion) and so that piggy-backed payloads
 (coordinator list merges, state abstracts) are computed fresh at each beat.
+
+Two scale-minded properties of the emitter:
+
+* **one timer per emitter** — every target of a beat shares the single
+  cancellable beat timer; the per-target work is just the message sends.
+  :meth:`HeartbeatEmitter.stop` (or a host crash) cancels the pending timer
+  so retired emitters leave nothing behind in the kernel heap;
+* **one payload per beat** — the payload callable is evaluated and
+  deep-copied once per beat, so nested mutables (coordinator lists, state
+  abstracts) are snapshotted instead of aliasing the sender's live state
+  across every target and across the wire.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Iterable
 
 from repro.config import FaultDetectionConfig
 from repro.net.message import Message, MessageType
 from repro.nodes.node import Host
-from repro.sim.core import Process, ProcessKilled
+from repro.sim.core import Interrupt, Process, ProcessKilled, Timeout
 
 __all__ = ["HeartbeatEmitter"]
 
@@ -39,12 +51,36 @@ class HeartbeatEmitter:
         self.payload = payload or (lambda: {})
         self.jitter_fraction = jitter_fraction
         self.sent = 0
+        self.stopped = False
         self._process: Process | None = None
+        self._timer: Timeout | None = None
 
     def start(self) -> Process:
         """Spawn the emission loop on the host (killed with the host)."""
+        self.stopped = False
         self._process = self.host.spawn(self._run(), name=f"{self.host.address}:heartbeat")
         return self._process
+
+    def stop(self) -> None:
+        """Retire the emitter: cancel the pending beat timer and its process.
+
+        Idempotent; safe to call on an emitter whose host already crashed
+        (the kill then already cancelled the timer through the loop's
+        ``finally``).
+        """
+        if self.stopped:
+            return
+        self.stopped = True
+        if self._process is not None and self._process.is_alive:
+            self._process.kill("heartbeat-stop")
+        elif self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def pending_timer(self) -> Timeout | None:
+        """The beat timer currently armed, if any (observability / tests)."""
+        return self._timer
 
     def _run(self):
         rng = self.host.rng.stream(f"heartbeat.{self.host.address}")
@@ -52,18 +88,29 @@ class HeartbeatEmitter:
         # Desynchronise emitters so every component does not beat in lockstep.
         initial = float(rng.uniform(0.0, period))
         try:
-            yield self.host.sleep(initial)
-            while True:
+            self._timer = self.host.sleep(initial)
+            yield self._timer
+            while not self.stopped:
                 self.beat_now()
                 jitter = float(rng.uniform(1.0 - self.jitter_fraction, 1.0 + self.jitter_fraction))
-                yield self.host.sleep(period * jitter)
-        except ProcessKilled:  # pragma: no cover - host crash
+                self._timer = self.host.sleep(period * jitter)
+                yield self._timer
+        except (Interrupt, ProcessKilled):
             return
+        finally:
+            timer, self._timer = self._timer, None
+            if timer is not None and not timer.processed:
+                timer.cancel()
 
     def beat_now(self) -> int:
-        """Send one round of heart-beats immediately; returns how many."""
+        """Send one round of heart-beats immediately; returns how many.
+
+        The payload is snapshotted (deep copy) once for the whole round: all
+        targets share one frozen-in-time payload instead of aliasing the
+        emitter's live nested state.
+        """
         count = 0
-        payload = dict(self.payload())
+        payload = copy.deepcopy(self.payload())
         for target in self.targets():
             if target is None or target == self.host.address:
                 continue
@@ -72,7 +119,7 @@ class HeartbeatEmitter:
                     mtype=self.mtype,
                     source=self.host.address,
                     dest=target,
-                    payload=dict(payload),
+                    payload=payload,
                     size_bytes=64,
                 )
             )

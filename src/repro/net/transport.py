@@ -36,10 +36,16 @@ class Endpoint:
         self.address = address
         self.mailbox: Store = Store(env)
         self.up = True
+        #: bumped on every mark_up(): a message stamped with an older
+        #: incarnation at send time is dropped at delivery time, so traffic
+        #: addressed to a dead incarnation cannot leak into the next one.
+        self.incarnation = 0
         #: number of messages delivered to this endpoint since creation.
         self.delivered = 0
         #: number of messages dropped because the endpoint was down.
         self.dropped_down = 0
+        #: number of messages dropped because they crossed a restart.
+        self.dropped_stale = 0
 
     def recv(self):
         """Event triggering with the next delivered :class:`Message`."""
@@ -55,8 +61,18 @@ class Endpoint:
         return self.mailbox.clear()
 
     def mark_up(self) -> None:
-        """Restart semantics: accept deliveries again (mailbox starts empty)."""
+        """Restart semantics: accept deliveries again (mailbox starts empty).
+
+        The restarted endpoint is a *new incarnation*: anything still in
+        flight from before (sent while it was down, or to its previous life)
+        is dropped on arrival rather than delivered to the fresh mailbox.
+        Idempotent — re-asserting "up" on a live endpoint must not invalidate
+        its in-flight traffic.
+        """
+        if self.up:
+            return
         self.up = True
+        self.incarnation += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.up else "down"
@@ -125,34 +141,43 @@ class Network:
 
         The message is lost when: the link model rolls a loss, the partition
         manager blocks the pair (checked both at send and at delivery time),
-        or the destination endpoint is down at delivery time.
+        the destination endpoint is down at delivery time, or the endpoint
+        restarted in between (incarnation mismatch).
         """
         message.sent_at = self.env.now
         self.monitor.incr("net.sent")
         self.monitor.incr("net.bytes_sent", message.wire_bytes)
 
-        if message.dest not in self._endpoints:
+        dest_endpoint = self._endpoints.get(message.dest)
+        if dest_endpoint is None:
             self.monitor.incr("net.dropped.unknown_dest")
             return
         if not self.partitions.allows(message.source, message.dest):
             self.monitor.incr("net.dropped.partition")
             return
 
-        stream = self.rng.stream("net.loss")
-        if self.link_model.loss_probability(message.source, message.dest) > 0.0:
-            if float(stream.random()) < self.link_model.loss_probability(
-                message.source, message.dest
-            ):
-                self.monitor.incr("net.dropped.loss")
-                return
+        # Determinism: consume exactly one draw from the dedicated loss
+        # stream for every send, whether or not the pair is lossy, so that
+        # reconfiguring the link model never reshuffles the stream for the
+        # sends that follow (sweeps compare like with like).
+        loss_roll = float(self.rng.stream("net.loss").random())
+        loss_probability = self.link_model.loss_probability(message.source, message.dest)
+        if loss_probability > 0.0 and loss_roll < loss_probability:
+            self.monitor.incr("net.dropped.loss")
+            return
 
         delay = self.link_model.transfer_time(
             message.source, message.dest, message.wire_bytes, self.rng.stream("net.delay")
         )
+        # Stamp the destination's incarnation at send time: a restart while
+        # the message is in flight invalidates the delivery.
+        incarnation = dest_endpoint.incarnation
         timeout = self.env.timeout(max(delay, 0.0))
-        timeout.callbacks.append(lambda _event, m=message: self._deliver(m))
+        timeout.callbacks.append(
+            lambda _event, m=message, inc=incarnation: self._deliver(m, inc)
+        )
 
-    def _deliver(self, message: Message) -> None:
+    def _deliver(self, message: Message, send_incarnation: int | None = None) -> None:
         endpoint = self._endpoints.get(message.dest)
         if endpoint is None:  # pragma: no cover - endpoint removed mid-flight
             self.monitor.incr("net.dropped.unknown_dest")
@@ -163,6 +188,13 @@ class Network:
         if not endpoint.up:
             endpoint.dropped_down += 1
             self.monitor.incr("net.dropped.endpoint_down")
+            return
+        if send_incarnation is not None and endpoint.incarnation != send_incarnation:
+            # Sent to a previous life of this endpoint (it was down, or it
+            # restarted, in between): the volatile destination that message
+            # was addressed to no longer exists.
+            endpoint.dropped_stale += 1
+            self.monitor.incr("net.dropped.stale_incarnation")
             return
         endpoint.delivered += 1
         self.monitor.incr("net.delivered")
@@ -182,6 +214,7 @@ class Network:
             "net.dropped.loss",
             "net.dropped.partition",
             "net.dropped.endpoint_down",
+            "net.dropped.stale_incarnation",
             "net.dropped.unknown_dest",
         ]
         return {key: self.monitor.count(key) for key in keys}

@@ -115,7 +115,6 @@ class Host:
             process.kill(cause)
         self._processes.clear()
         self.volatile.clear()
-        self.endpoint.mark_down()
         self.network.set_endpoint_up(self.address, False)
         self.monitor.incr(f"faults.{self.address.kind}")
         self.monitor.trace(now, "crash", address=str(self.address), cause=str(cause))
@@ -131,7 +130,6 @@ class Host:
         self._last_transition = now
         self.up = True
         self.incarnation += 1
-        self.endpoint.mark_up()
         self.network.set_endpoint_up(self.address, True)
         self.monitor.incr(f"restarts.{self.address.kind}")
         self.monitor.trace(now, "restart", address=str(self.address))

@@ -23,6 +23,8 @@ from repro.sim.core import (
     ProcessKilled,
     SimulationError,
     Timeout,
+    WaitOutcome,
+    wait_any,
 )
 from repro.sim.monitor import Monitor, TimeSeries
 from repro.sim.rng import RandomStreams
@@ -44,4 +46,6 @@ __all__ = [
     "Store",
     "TimeSeries",
     "Timeout",
+    "WaitOutcome",
+    "wait_any",
 ]

@@ -8,7 +8,19 @@ The kernel follows the process-interaction world view:
 * :class:`Timeout` is the elementary "wait for some virtual time" event;
 * :class:`AnyOf` / :class:`AllOf` compose events;
 * processes can be interrupted (:class:`Interrupt`) or killed
-  (:class:`ProcessKilled`), which is how node crashes are modelled.
+  (:class:`ProcessKilled`), which is how node crashes are modelled;
+* waits are *cancellable*: :meth:`Timeout.cancel` tombstones a pending timer
+  (lazily removed from the heap, compacted in bulk when dead entries pile up),
+  :meth:`Event.cancel_wait` detaches a waiter, and :func:`wait_any` races a
+  set of events against an optional timeout with guaranteed cleanup.
+
+Cancellation matters because the RPC-V protocol is timeout-driven end to end:
+every request races a reply against a retry timer, and the losing side of the
+race must not linger.  Abandoned waits cascade: when the last waiter of an
+event is detached the event's *abandon hook* runs, which cancels orphaned
+timeouts, withdraws conditions from their constituent events, and purges
+store getter queues — so a killed process reclaims everything it was blocked
+on, and the heap does not fill with dead timers at scale.
 
 The implementation is intentionally dependency-free and deterministic: events
 scheduled at the same virtual time fire in scheduling order (FIFO tie-break on
@@ -33,6 +45,8 @@ __all__ = [
     "AnyOf",
     "AllOf",
     "Environment",
+    "WaitOutcome",
+    "wait_any",
 ]
 
 
@@ -88,7 +102,16 @@ class Event:
     callbacks have run).  Processes wait on events by yielding them.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_processed",
+        "_defused",
+        "_cancelled",
+        "_abandon_hook",
+    )
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -97,6 +120,10 @@ class Event:
         self._ok: bool = True
         self._processed = False
         self._defused = False
+        self._cancelled = False
+        #: called with the event when its last waiter detaches; lets owners
+        #: (stores, timeouts, conditions) reclaim resources nobody waits for.
+        self._abandon_hook: Callable[[Event], None] | None = None
 
     # -- state ------------------------------------------------------------
     @property
@@ -108,6 +135,11 @@ class Event:
     def processed(self) -> bool:
         """True once the callbacks have run."""
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been cancelled (it will never fire)."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -126,7 +158,7 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -159,29 +191,107 @@ class Event:
         """Mark a failed event as handled so the kernel does not re-raise it."""
         self._defused = True
 
+    # -- waiter management ---------------------------------------------------
+    def cancel_wait(self, waiter: "Process | Callable[[Event], None]") -> bool:
+        """Detach ``waiter`` (a :class:`Process` or raw callback) from this event.
+
+        The caller is responsible for the detached process: it will not be
+        resumed by this event anymore.  Returns True when something was
+        removed.  If the event ends up with no waiters its abandon hook runs,
+        cascading the cleanup (orphaned timers are cancelled, store getter
+        queues purged, conditions withdrawn from their constituents).
+        """
+        callback = waiter._resume if isinstance(waiter, Process) else waiter
+        callbacks = self.callbacks
+        if callbacks is None:
+            return False
+        try:
+            callbacks.remove(callback)
+        except ValueError:
+            return False
+        if isinstance(waiter, Process) and waiter._target is self:
+            waiter._target = None
+        self._maybe_abandon()
+        return True
+
+    def _maybe_abandon(self) -> None:
+        """Run the abandon hook once the last waiter has been detached."""
+        if (
+            self._abandon_hook is not None
+            and self.callbacks is not None
+            and not self.callbacks
+        ):
+            hook, self._abandon_hook = self._abandon_hook, None
+            hook(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "processed" if self._processed else (
-            "triggered" if self.triggered else "pending"
+        state = "cancelled" if self._cancelled else (
+            "processed" if self._processed else (
+                "triggered" if self.triggered else "pending"
+            )
         )
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+def _cancel_on_abandon(timeout: "Timeout") -> None:
+    """Abandon hook shared by every timeout: nobody waits for it anymore."""
+    timeout.cancel()
+
+
 class Timeout(Event):
-    """An event that fires ``delay`` units of virtual time in the future."""
+    """An event that fires ``delay`` units of virtual time in the future.
+
+    A pending timeout can be :meth:`cancel`-led: the heap entry is tombstoned
+    (skipped on pop, removed in bulk by compaction) and its callbacks never
+    run.  Timeouts also cancel *themselves* when their last waiter detaches —
+    the abandon cascade — so the losing timer of a reply-vs-timeout race does
+    not linger in the heap.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts dominate event allocation on the protocol hot paths, so
+        # Event.__init__ is inlined here (one call fewer per timer).
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
+        self._abandon_hook = _cancel_on_abandon
+        self.delay = delay
         env._schedule(self, delay=delay)
 
+    def cancel(self) -> bool:
+        """Cancel the timeout before it fires.
+
+        Returns True when the timeout was still pending (it is now a heap
+        tombstone and its callbacks will never run), False when it had already
+        fired or been cancelled.
+        """
+        # callbacks is None from the moment the event is popped off the heap:
+        # a fired timeout is no longer a heap entry, so cancelling it must not
+        # create a phantom tombstone (even mid-resume, before _processed).
+        if self._processed or self._cancelled or self.callbacks is None:
+            return False
+        self._cancelled = True
+        # Inlined Environment._note_cancellation (cancellation is hot).
+        env = self.env
+        env._dead_entries += 1
+        if (
+            env._dead_entries >= env._COMPACTION_MIN_DEAD
+            and 2 * env._dead_entries >= len(env._queue)
+        ):
+            env._compact()
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Timeout delay={self.delay!r}>"
+        state = " cancelled" if self._cancelled else ""
+        return f"<Timeout delay={self.delay!r}{state}>"
 
 
 class Initialize(Event):
@@ -243,6 +353,15 @@ class Process(Event):
             _InterruptEvent(self.env, self, Interrupt(cause)),
             priority=Environment._PRIORITY_URGENT,
         )
+
+    def wait_any(self, events: Iterable[Event], timeout: float | None = None):
+        """Process fragment racing ``events`` against an optional ``timeout``.
+
+        Convenience for :func:`wait_any` — use inside this process's generator
+        as ``outcome = yield from process.wait_any([...], timeout=...)``; the
+        cleanup guarantees of :func:`wait_any` apply.
+        """
+        return wait_any(self.env, events, timeout)
 
     def kill(self, cause: Any = None) -> None:
         """Throw :class:`ProcessKilled` into the process at the current time.
@@ -314,6 +433,11 @@ class Process(Event):
                     "yielded an event bound to a different environment"
                 )
                 continue
+            if target._cancelled:
+                exc_to_throw = SimulationError(
+                    f"process {self.name!r} yielded a cancelled event: {target!r}"
+                )
+                continue
 
             if target.triggered and target.callbacks is None:
                 # Already processed: resume immediately with its outcome.
@@ -355,13 +479,18 @@ class _InterruptEvent(Event):
         process = self.process
         if not process.is_alive:
             return
-        # Detach the process from whatever it is currently waiting on.
+        # Detach the process from whatever it is currently waiting on; the
+        # abandon cascade then reclaims anything only that wait kept alive
+        # (a sleep timer is cancelled, a store getter is purged, a condition
+        # withdraws from its constituent events).
         target = process._target
         if target is not None and target.callbacks is not None:
             try:
                 target.callbacks.remove(process._resume)
             except ValueError:  # pragma: no cover - defensive
                 pass
+            else:
+                target._maybe_abandon()
         process._target = None
         failed = Event(process.env)
         failed._ok = False
@@ -375,8 +504,21 @@ class _InterruptEvent(Event):
 # ---------------------------------------------------------------------------
 
 
+def _cancel_condition_on_abandon(condition: "Condition") -> None:
+    """Abandon hook for conditions: withdraw from the constituent events."""
+    condition.cancel()
+
+
 class Condition(Event):
-    """Base class for :class:`AnyOf` / :class:`AllOf`."""
+    """Base class for :class:`AnyOf` / :class:`AllOf`.
+
+    On trigger the condition *detaches* itself from every constituent event
+    that has not fired, so losing events are not left holding a stale
+    ``_check`` callback (and, through the abandon cascade, losing timeouts
+    are cancelled and losing store getters purged).  The same cleanup runs
+    through :meth:`cancel` when the condition itself is abandoned — e.g. the
+    waiting process was killed.
+    """
 
     __slots__ = ("events", "_count")
 
@@ -384,36 +526,61 @@ class Condition(Event):
         super().__init__(env)
         self.events: tuple[Event, ...] = tuple(events)
         self._count = 0
+        self._abandon_hook = _cancel_condition_on_abandon
         for event in self.events:
             if event.env is not env:
                 raise SimulationError("condition mixes environments")
         if not self.events:
             self.succeed(self._collect())
             return
+        check = self._check  # bind once: this loop runs on the hot path
         for event in self.events:
-            if event.triggered and event.callbacks is None:
-                self._check(event)
+            if event._value is not _PENDING and event.callbacks is None:
+                check(event)
             else:
-                event.callbacks.append(self._check)  # type: ignore[union-attr]
-            if self.triggered:
+                event.callbacks.append(check)  # type: ignore[union-attr]
+            if self._value is not _PENDING:
                 break
 
+    def cancel(self) -> None:
+        """Withdraw from every constituent event that has not fired yet.
+
+        Safe to call at any time (idempotent); the condition itself is left
+        untriggered when still pending — nobody is waiting for it anymore.
+        """
+        check = self._check
+        for event in self.events:
+            callbacks = event.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(check)
+                except ValueError:
+                    continue
+                # Inlined Event._maybe_abandon (this is the race-loser path).
+                hook = event._abandon_hook
+                if hook is not None and not callbacks:
+                    event._abandon_hook = None
+                    hook(event)
+
     def _collect(self) -> dict[Event, Any]:
-        return {e: e._value for e in self.events if e.triggered and e._ok}
+        return {e: e._value for e in self.events if e._value is not _PENDING and e._ok}
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             event._defused = True
             self.fail(event._value)
-            return
-        self._count += 1
-        if self._satisfied():
-            self.succeed(self._collect())
+        else:
+            self._count += 1
+            if self._satisfied():
+                self.succeed(self._collect())
+        if self._value is not _PENDING:
+            # Detach from the losers so they do not keep a stale callback.
+            self.cancel()
 
 
 class AnyOf(Condition):
@@ -435,21 +602,103 @@ class AllOf(Condition):
 
 
 # ---------------------------------------------------------------------------
+# Cancellable racing waits
+# ---------------------------------------------------------------------------
+
+
+class WaitOutcome:
+    """Result of a :func:`wait_any` race.
+
+    ``events`` maps each *payload* event that triggered to its value (the
+    expiry timer is never included); ``expired`` tells whether the race was
+    decided by the timeout.
+    """
+
+    __slots__ = ("events", "expired")
+
+    def __init__(self, events: dict[Event, Any], expired: bool) -> None:
+        self.events = events
+        self.expired = expired
+
+    @property
+    def timed_out(self) -> bool:
+        """True when the timeout fired and no payload event did."""
+        return self.expired and not self.events
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def get(self, event: Event, default: Any = None) -> Any:
+        """Value of ``event`` if it triggered, else ``default``."""
+        return self.events.get(event, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WaitOutcome fired={len(self.events)} expired={self.expired}>"
+
+
+def wait_any(env: "Environment", events: Iterable[Event], timeout: float | None = None):
+    """Race ``events`` (optionally against a ``timeout``), with guaranteed cleanup.
+
+    Process fragment: use as ``outcome = yield from wait_any(env, [...], ...)``
+    (or the :meth:`Environment.wait_any` / :meth:`Process.wait_any` shorthands).
+    Returns a :class:`WaitOutcome`.  Whatever way the wait ends — a payload
+    event fires, the timeout expires, the process is interrupted or killed —
+    every losing event is detached from and a losing (or pending) expiry timer
+    is cancelled, so racing waits leave neither stale callbacks on long-lived
+    events nor dead timers in the heap.
+    """
+    events = list(events)
+    expiry = Timeout(env, timeout) if timeout is not None else None
+    race: list[Event] = list(events)
+    if expiry is not None:
+        race.append(expiry)
+    condition = AnyOf(env, race)
+    try:
+        yield condition
+    finally:
+        condition.cancel()
+        if expiry is not None and not expiry._processed:
+            expiry.cancel()
+    # "Fired" means processed by the time the race resolved: a Timeout holds
+    # its value from construction (triggered at birth), so the triggered flag
+    # would wrongly report raced-and-cancelled timers as winners.
+    fired = {event: event._value for event in events if event._processed}
+    return WaitOutcome(fired, expired=expiry is not None and expiry._processed)
+
+
+# ---------------------------------------------------------------------------
 # Environment
 # ---------------------------------------------------------------------------
 
 
 class Environment:
-    """The simulation environment: virtual clock plus pending-event heap."""
+    """The simulation environment: virtual clock plus pending-event heap.
+
+    Cancelled events stay in the heap as *tombstones*: they are skipped when
+    they surface at the top, and when they outnumber half of the heap (past a
+    small floor) the whole heap is compacted in one O(n) pass.  This keeps
+    both cancellation and scheduling O(log live) amortised, no matter how many
+    raced-and-lost timers the protocol layers churn through.
+    """
 
     _PRIORITY_URGENT = 0
     _PRIORITY_NORMAL = 1
+    #: never compact below this many tombstones (avoids thrashing tiny heaps).
+    _COMPACTION_MIN_DEAD = 64
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._active_process: Process | None = None
+        #: cancelled entries still sitting in the heap.
+        self._dead_entries = 0
+        #: number of bulk compactions performed (observability / tests).
+        self.compactions = 0
+        #: number of events actually processed by step() (tombstones excluded).
+        self.events_processed = 0
+        #: high-water mark of the heap size, tombstones included.
+        self.peak_heap_size = 0
 
     # -- clock --------------------------------------------------------------
     @property
@@ -485,30 +734,70 @@ class Environment:
         """Shorthand for :class:`AllOf`."""
         return AllOf(self, events)
 
+    def wait_any(self, events: Iterable[Event], timeout: float | None = None):
+        """Shorthand for :func:`wait_any` (a ``yield from``-able fragment)."""
+        return wait_any(self, events, timeout)
+
     # -- scheduling ----------------------------------------------------------
     def _schedule(
         self, event: Event, delay: float = 0.0, priority: int | None = None
     ) -> None:
         if priority is None:
             priority = self._PRIORITY_NORMAL
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._counter), event)
-        )
+        queue = self._queue
+        heapq.heappush(queue, (self._now + delay, priority, next(self._counter), event))
+        if len(queue) > self.peak_heap_size:
+            self.peak_heap_size = len(queue)
+
+    # -- tombstone bookkeeping -----------------------------------------------
+    # Cancellation accounting lives inline in Timeout.cancel (dead-entry
+    # count + compaction trigger) and in peek()/step() (tombstone pops):
+    # those are the kernel's hottest paths.
+
+    def _compact(self) -> None:
+        """Drop every tombstone from the heap in one pass and re-heapify."""
+        self._queue = [entry for entry in self._queue if not entry[3]._cancelled]
+        heapq.heapify(self._queue)
+        self._dead_entries = 0
+        self.compactions += 1
+
+    def queue_stats(self) -> dict[str, int]:
+        """Heap occupancy snapshot: live vs dead entries, peaks, compactions."""
+        heap_size = len(self._queue)
+        return {
+            "heap_size": heap_size,
+            "dead_entries": self._dead_entries,
+            "live_entries": heap_size - self._dead_entries,
+            "peak_heap_size": self.peak_heap_size,
+            "compactions": self.compactions,
+            "events_processed": self.events_processed,
+        }
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next *live* scheduled event, or ``inf`` if none."""
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:  # pop tombstones (lazy deletion)
+            heapq.heappop(queue)
+            self._dead_entries -= 1
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
-        """Process the next scheduled event."""
-        if not self._queue:
+        """Process the next live scheduled event."""
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:  # pop tombstones (lazy deletion)
+            heapq.heappop(queue)
+            self._dead_entries -= 1
+        if not queue:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heapq.heappop(queue)
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
+        # Processed before the callbacks run: from their perspective (and
+        # that of anything they resume) the event has fired.
+        event._processed = True
         for callback in callbacks or ():
             callback(event)
-        event._processed = True
         if not event._ok and not event._defused:
             # An unhandled failure: surface it to the caller of run().
             raise event._value
@@ -541,7 +830,8 @@ class Environment:
                 if not stop_event._ok and not stop_event._defused:
                     raise stop_event._value
                 return stop_event._value
-            if not self._queue:
+            next_time = self.peek()
+            if next_time == float("inf"):
                 if stop_time is not None:
                     self._now = stop_time
                 if stop_event is not None:
@@ -549,7 +839,7 @@ class Environment:
                         "run() until an event, but the schedule drained first"
                     )
                 return None
-            if stop_time is not None and self._queue[0][0] > stop_time:
+            if stop_time is not None and next_time > stop_time:
                 self._now = stop_time
                 return None
             self.step()
@@ -560,7 +850,7 @@ class Environment:
         Returns the number of events processed.  Useful in tests.
         """
         processed = 0
-        while self._queue:
+        while self.peek() != float("inf"):
             if max_events is not None and processed >= max_events:
                 break
             self.step()
@@ -568,4 +858,5 @@ class Environment:
         return processed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Environment now={self._now!r} pending={len(self._queue)}>"
+        live = len(self._queue) - self._dead_entries
+        return f"<Environment now={self._now!r} pending={live}>"

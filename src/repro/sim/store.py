@@ -70,9 +70,24 @@ class Store:
     def get(self) -> Event:
         """Return an event that triggers with the next available item."""
         event = Event(self.env)
+        event._abandon_hook = self._abandon_getter
         self._getters.append(event)
         self._dispatch()
         return event
+
+    def _abandon_getter(self, event: Event) -> None:
+        """Purge a getter whose last waiter detached (killed / lost a race).
+
+        Without this, a process killed while blocked on ``get`` (or a getter
+        losing an :class:`~repro.sim.core.AnyOf` race) would leave a zombie
+        waiter that silently swallows the next item put into the store.
+        """
+        if event.triggered:
+            return
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
 
     def try_get(self) -> Any | None:
         """Non-blocking get: pop an item if one is available, else ``None``."""
@@ -129,10 +144,16 @@ class FilterStore(Store):
 
     def get(self, predicate: Callable[[Any], bool] | None = None) -> Event:  # type: ignore[override]
         event = Event(self.env)
+        event._abandon_hook = self._abandon_getter
         self._predicates[event] = predicate
         self._getters.append(event)
         self._dispatch()
         return event
+
+    def _abandon_getter(self, event: Event) -> None:
+        super()._abandon_getter(event)
+        if not event.triggered:
+            self._predicates.pop(event, None)
 
     def _dispatch(self) -> None:
         progressed = True

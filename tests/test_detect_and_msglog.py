@@ -127,6 +127,46 @@ class TestHeartbeatEmitter:
         host.crash()
         env.run(until=60.0)
         assert emitter.sent == sent_before
+        # The crash also reclaimed the pending beat timer.
+        assert emitter.pending_timer is None
+
+    def test_stop_cancels_pending_beat_timer(self, env):
+        host = make_host(env, kind="server")
+        Host(env, host.network, K, rng=RandomStreams(1))
+        emitter = HeartbeatEmitter(
+            host=host,
+            config=FaultDetectionConfig(heartbeat_period=5.0, suspicion_timeout=30.0),
+            mtype=MessageType.SERVER_HEARTBEAT,
+            targets=lambda: [K],
+        )
+        emitter.start()
+        env.run(until=12.0)
+        sent_before = emitter.sent
+        emitter.stop()
+        env.run(until=60.0)
+        assert emitter.sent == sent_before
+        assert emitter.pending_timer is None
+        emitter.stop()  # idempotent
+
+    def test_payload_snapshotted_per_beat(self, env):
+        host = make_host(env, kind="server")
+        target = Host(env, host.network, K, rng=RandomStreams(1))
+        live_state = {"coordinators": ["k0"]}
+        emitter = HeartbeatEmitter(
+            host=host,
+            config=FaultDetectionConfig(),
+            mtype=MessageType.SERVER_HEARTBEAT,
+            targets=lambda: [K],
+            payload=lambda: live_state,
+        )
+        assert emitter.beat_now() == 1
+        # Mutating the emitter's live nested state after the beat must not
+        # rewrite the payload already on the wire.
+        live_state["coordinators"].append("k1")
+        env.run()
+        message = target.endpoint.try_recv()
+        assert message is not None
+        assert message.payload["coordinators"] == ["k0"]
 
 
 class TestMessageLog:

@@ -228,6 +228,73 @@ class TestNetwork:
         assert endpoint_b.delivered == 0
         assert network.stats()["net.dropped.loss"] == 5
 
+    def test_message_sent_while_down_not_delivered_after_restart(self, env):
+        network = Network(env)
+        network.register(A)
+        endpoint_b = network.register(B)
+        network.set_endpoint_up(B, False)
+        network.send(Message(MessageType.PING, A, B))
+        # The endpoint restarts before the message lands: the message was
+        # addressed to the previous incarnation and must not leak into the
+        # fresh mailbox.
+        network.set_endpoint_up(B, True)
+        env.run()
+        assert endpoint_b.delivered == 0
+        assert len(endpoint_b.mailbox) == 0
+        assert endpoint_b.dropped_stale == 1
+        assert network.stats()["net.dropped.stale_incarnation"] == 1
+
+    def test_restart_mid_flight_drops_in_flight_traffic(self, env):
+        network = Network(env, link_model=LanLinkModel(jitter=0.0))
+        network.register(A)
+        endpoint_b = network.register(B)
+        network.send(Message(MessageType.PING, A, B, size_bytes=10_000))
+        # Crash + restart while the message is still in flight.
+        network.set_endpoint_up(B, False)
+        network.set_endpoint_up(B, True)
+        env.run()
+        assert endpoint_b.delivered == 0
+        assert network.stats()["net.dropped.stale_incarnation"] == 1
+
+    def test_mark_up_on_live_endpoint_is_a_noop(self, env):
+        network = Network(env, link_model=LanLinkModel(jitter=0.0))
+        network.register(A)
+        endpoint_b = network.register(B)
+        network.send(Message(MessageType.PING, A, B, size_bytes=10_000))
+        # A defensive re-assert of "up" must not invalidate in-flight traffic.
+        network.set_endpoint_up(B, True)
+        env.run()
+        assert endpoint_b.incarnation == 0
+        assert endpoint_b.delivered == 1
+
+    def test_same_incarnation_delivery_unaffected(self, env):
+        network = Network(env)
+        network.register(A)
+        endpoint_b = network.register(B)
+        network.send(Message(MessageType.PING, A, B))
+        env.run()
+        assert endpoint_b.delivered == 1
+        assert network.stats()["net.dropped.stale_incarnation"] == 0
+
+    def test_loss_stream_consumed_uniformly(self, env):
+        """Lossless sends still consume the loss stream draw-for-draw.
+
+        This pins the determinism contract: toggling a lossy link model on a
+        *different* pair does not reshuffle the loss stream consumed by the
+        sends that follow.
+        """
+        rng_a = RandomStreams(7)
+        rng_b = RandomStreams(7)
+        network = Network(env, rng=rng_a)
+        network.register(A)
+        network.register(B)
+        for _ in range(5):
+            network.send(Message(MessageType.PING, A, B))
+        # Five sends must have consumed exactly five draws from "net.loss".
+        reference = rng_b.stream("net.loss")
+        _ = [reference.random() for _ in range(5)]
+        assert rng_a.stream("net.loss").random() == reference.random()
+
     def test_delivery_hook_invoked(self, env):
         network = Network(env)
         network.register(A)

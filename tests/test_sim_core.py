@@ -13,6 +13,7 @@ from repro.sim.core import (
     ProcessKilled,
     SimulationError,
     Timeout,
+    wait_any,
 )
 from repro.sim.store import FilterStore, PriorityStore, Store, StoreClosed
 
@@ -265,6 +266,242 @@ class TestEnvironment:
         env.timeout(1.0)
         env.timeout(2.0)
         assert env.run_until_idle() == 2
+
+
+class TestCancellation:
+    def test_cancelled_timeout_never_resumes_waiter(self, env):
+        resumed = []
+        timeout = env.timeout(5.0)
+
+        def waiter():
+            yield timeout
+            resumed.append(env.now)
+
+        env.process(waiter())
+        env.run(until=1.0)  # the process is now blocked on the timeout
+        assert timeout.cancel()
+        env.run()
+        assert resumed == []
+        assert timeout.cancelled
+        assert not timeout.processed
+        # The tombstone does not drive the clock to t=5 either.
+        assert env.now == 1.0
+
+    def test_cancel_is_one_shot_and_rejects_processed(self, env):
+        timeout = env.timeout(1.0)
+        assert timeout.cancel()
+        assert not timeout.cancel()
+        fired = env.timeout(1.0)
+        env.run()
+        assert fired.processed
+        assert not fired.cancel()
+
+    def test_cancel_own_timer_mid_resume_is_rejected(self, env):
+        """Cancelling the very timer that resumed us must not tombstone it.
+
+        The timer is already off the heap at that point; a phantom tombstone
+        would corrupt the dead-entry accounting.
+        """
+        observed = {}
+
+        def proc():
+            timer = env.timeout(1.0)
+            yield timer
+            observed["cancel"] = timer.cancel()
+            observed["processed"] = timer.processed
+
+        env.process(proc())
+        env.run()
+        assert observed["cancel"] is False
+        assert observed["processed"] is True
+        stats = env.queue_stats()
+        assert stats["dead_entries"] == 0
+        assert stats["live_entries"] == 0
+
+    def test_cancelled_timeouts_do_not_survive_compaction(self, env):
+        timers = [env.timeout(100.0 + i) for i in range(200)]
+        keep = env.timeout(1.0)
+        for timer in timers:
+            timer.cancel()
+        stats = env.queue_stats()
+        assert stats["compactions"] >= 1
+        assert stats["live_entries"] == 1
+        assert stats["heap_size"] < 200  # the heap actually shrank
+        env.run()
+        assert keep.processed
+        assert env.queue_stats()["heap_size"] == 0
+
+    def test_yielding_a_cancelled_timeout_raises(self, env):
+        timeout = env.timeout(5.0)
+        timeout.cancel()
+
+        def proc():
+            yield timeout
+
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_cancel_wait_detaches_process_from_event(self, env):
+        event = env.event()
+
+        def waiter():
+            yield event
+            return "resumed"
+
+        process = env.process(waiter())
+        env.run(until=1.0)
+        assert event.cancel_wait(process)
+        assert process.target is None
+        event.succeed("late")
+        env.run()
+        assert process.is_alive  # detached: the late trigger did not resume it
+
+    def test_wait_any_winner_cancels_expiry_timer(self, env):
+        def proc():
+            reply = env.timeout(1.0, value="reply")
+            outcome = yield from wait_any(env, [reply], timeout=30.0)
+            return outcome
+
+        process = env.process(proc())
+        env.run()
+        assert process.value.events
+        assert not process.value.expired
+        # The losing 30 s retry timer was cancelled: the run ended at t=1.
+        assert env.now == 1.0
+        assert env.queue_stats()["heap_size"] == 0
+
+    def test_wait_any_losing_timeout_payload_not_reported_fired(self, env):
+        def proc():
+            slow = env.timeout(10.0, value="slow")
+            outcome = yield from env.wait_any([slow], timeout=1.0)
+            return outcome
+
+        process = env.process(proc())
+        env.run()
+        # A Timeout holds its value from construction; the raced-and-lost
+        # slow timer must still not be reported as a winner.
+        assert process.value.timed_out
+        assert process.value.events == {}
+        assert env.now == 1.0
+
+    def test_wait_any_timeout_detaches_stale_callback(self, env):
+        waiter = env.event()
+
+        def proc():
+            outcome = yield from env.wait_any([waiter], timeout=2.0)
+            return outcome.timed_out
+
+        process = env.process(proc())
+        env.run()
+        assert process.value is True
+        # The long-lived event carries no stale condition callback.
+        assert waiter.callbacks == []
+
+    def test_anyof_detaches_from_losing_events(self, env):
+        winner = env.event()
+        loser = env.event()
+        condition = env.any_of([winner, loser])
+        winner.succeed("w")
+        env.run()
+        assert condition.processed
+        assert loser.callbacks == []
+
+    def test_interrupt_while_sleeping_reclaims_timer(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                return "woken"
+
+        def waker(target):
+            yield env.timeout(1.0)
+            target.interrupt()
+
+        process = env.process(sleeper())
+        env.process(waker(process))
+        env.run()
+        assert process.value == "woken"
+        # The abandoned 100 s timer was cancelled along with the wait.
+        assert env.now == 1.0
+
+
+class TestWaiterCleanup:
+    def test_kill_while_blocked_on_store_get_purges_waiter(self, env):
+        store = Store(env)
+
+        def consumer():
+            yield store.get()
+
+        process = env.process(consumer())
+        env.run(until=1.0)
+        assert len(store._getters) == 1
+        process.kill("crash")
+        env.run()
+        assert not process.is_alive
+        assert len(store._getters) == 0
+        # A later put is not swallowed by the dead waiter.
+        store.put("item")
+        assert len(store) == 1
+
+    def test_kill_while_blocked_on_filter_store_purges_predicate(self, env):
+        store = FilterStore(env)
+
+        def consumer():
+            yield store.get(lambda item: item == "wanted")
+
+        process = env.process(consumer())
+        env.run(until=1.0)
+        process.kill("crash")
+        env.run()
+        assert len(store._getters) == 0
+        assert store._predicates == {}
+
+    def test_kill_during_wait_any_race_cleans_everything(self, env):
+        store = Store(env)
+
+        def racer():
+            outcome = yield from env.wait_any([store.get()], timeout=50.0)
+            return outcome
+
+        process = env.process(racer())
+        env.run(until=1.0)
+        process.kill("crash")
+        env.run()
+        assert not process.is_alive
+        assert len(store._getters) == 0  # store waiter purged
+        assert env.queue_stats()["heap_size"] == 0  # expiry timer reclaimed
+        assert env.now == 1.0
+
+    def test_kill_during_raw_anyof_race_cascades_cleanup(self, env):
+        store = Store(env)
+        getter_box = {}
+
+        def racer():
+            getter_box["getter"] = store.get()
+            yield env.any_of([getter_box["getter"], env.timeout(50.0)])
+
+        process = env.process(racer())
+        env.run(until=1.0)
+        process.kill("crash")
+        env.run()
+        assert len(store._getters) == 0
+        assert getter_box["getter"].callbacks == []
+        assert env.queue_stats()["heap_size"] == 0
+
+    def test_store_getter_losing_race_does_not_swallow_item(self, env):
+        store = Store(env)
+
+        def racer():
+            outcome = yield from env.wait_any([store.get()], timeout=2.0)
+            return outcome.timed_out
+
+        process = env.process(racer())
+        env.run()
+        assert process.value is True
+        assert len(store._getters) == 0
+        store.put("late")
+        assert len(store) == 1  # kept for a live consumer, not the dead race
 
 
 class TestStore:
