@@ -1,18 +1,21 @@
 #!/usr/bin/env python
-"""Gate kernel-benchmark regressions against a committed baseline.
+"""Gate benchmark regressions against a committed baseline.
 
 Usage::
 
     python benchmarks/check_bench_regression.py BASELINE.json FRESH.json \
         [--max-regression 0.20]
 
-Compares the per-scale ``events_per_sec`` of a freshly produced
-``BENCH_kernel.json`` (see ``benchmarks/test_perf_kernel.py``) against the
-committed baseline and exits non-zero when any scale regressed by more than
-``--max-regression`` (a fraction; default 20%).  Speed-ups and small noise
-are reported but never fail the gate; the machine-independent ``speedup``
-ratio of the 1k comparison is also checked against the floor the benchmark
-recorded in its own output (``min_speedup``).
+Compares the per-scale ``events_per_sec`` of a freshly produced benchmark
+file (``BENCH_kernel.json`` from ``benchmarks/test_perf_kernel.py`` or
+``BENCH_transport.json`` from ``benchmarks/test_perf_transport.py``) against
+the committed baseline and exits non-zero when any scale regressed by more
+than ``--max-regression`` (a fraction; default 20%).  Speed-ups and small
+noise are reported but never fail the gate.  When the benchmark records a
+machine-independent head-to-head ratio (the kernel benchmark's 1k
+``speedup`` and its ``min_speedup`` floor), that floor is checked too;
+benchmarks without one (the transport file) are gated on the per-scale
+events/sec alone.
 """
 
 from __future__ import annotations
@@ -58,11 +61,12 @@ def main() -> int:
                 f"(max allowed {args.max_regression:.0%})"
             )
 
-    speedup = float(fresh.get("comparison_1k", {}).get("speedup", 0.0))
-    floor = float(fresh.get("min_speedup", baseline.get("min_speedup", 2.0)))
-    print(f"1k-node speedup vs legacy kernel: {speedup:.2f}x (floor {floor}x)")
-    if speedup < floor:
-        failures.append(f"speedup {speedup:.2f}x below the {floor}x floor")
+    if "comparison_1k" in fresh or "min_speedup" in fresh:
+        speedup = float(fresh.get("comparison_1k", {}).get("speedup", 0.0))
+        floor = float(fresh.get("min_speedup", baseline.get("min_speedup", 2.0)))
+        print(f"1k-node speedup vs legacy kernel: {speedup:.2f}x (floor {floor}x)")
+        if speedup < floor:
+            failures.append(f"speedup {speedup:.2f}x below the {floor}x floor")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -19,6 +19,12 @@ Both modes run the identical logical workload, so *useful* throughput —
 events a leak-free kernel must process per wall-clock second — is directly
 comparable: the ratio of the two is the speedup the cancellable kernel buys.
 
+Since the same-tick-lane PR, condition triggers and process init/termination
+ride the kernel's same-tick FIFO lane instead of the heap, so the heap traffic
+of this workload is timers only (the peak heap numbers reflect that), and the
+identical workload also documents its speedup vs the committed PR-1 kernel
+(``comparison_1k.speedup_vs_pr1``).
+
 Running this file writes ``BENCH_kernel.json`` at the repository root with
 events/sec, peak heap size, and the live-vs-dead heap occupancy at 100, 1k
 and 5k nodes; CI diffs it against the committed baseline and fails on a >20%
@@ -47,6 +53,13 @@ COMPARISON_NODES = 1000
 #: acceptance floor: the cancellable kernel must at least double useful
 #: throughput at the 1k-node scenario.
 MIN_SPEEDUP = 2.0
+#: the committed PR-1 events/sec at the 1k scale (pre same-tick-lane kernel),
+#: measured on the same baseline machine that produces the committed
+#: BENCH_kernel.json.  The derived speedup_vs_pr1 is documentation of that
+#: machine's generational move only — regenerating on different hardware
+#: makes it a hardware ratio, not a kernel one (the in-run ``speedup`` field
+#: is the machine-independent head-to-head).
+PR1_BASELINE_1K_EVENTS_PER_SEC = 99058.5
 #: sampling period (virtual seconds) for heap-occupancy snapshots.
 SAMPLE_PERIOD = 1.0
 
@@ -180,6 +193,12 @@ def test_kernel_benchmark_writes_bench_json_and_beats_legacy():
             "legacy_peak_heap_size": legacy["peak_heap_size"],
             "cancellable_peak_heap_size": cancellable["peak_heap_size"],
             "speedup": round(speedup, 2),
+            # Documentation of the same-tick-lane PR: how far the identical
+            # workload moved vs the committed PR-1 kernel numbers.
+            "pr1_events_per_sec": PR1_BASELINE_1K_EVENTS_PER_SEC,
+            "speedup_vs_pr1": round(
+                cancellable["events_per_sec"] / PR1_BASELINE_1K_EVENTS_PER_SEC, 2
+            ),
         },
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,165 @@
+"""Transport performance benchmark: the zero-allocation delivery pipeline.
+
+``Network.send`` used to allocate a full ``Timeout`` event plus a closure per
+message and pay two stream-registry lookups and three string-keyed counter
+increments; deliveries now ride the kernel's bare ``call_at`` callback lane
+(one heap tuple per in-flight message, zero event allocation), the loss/delay
+streams and monitor counters are pre-resolved handles, and the link model is
+resolved once per (source, dest) pair through the route cache.
+
+The scenario exercises exactly that pipeline at grid scale: *n* nodes split
+over two sites exchange messages alternating between a **zero-delay**
+same-site link (a ``PerfectLinkModel`` with zero latency — deliveries join
+the same-tick lane and never touch the heap) and a **nonzero-delay**
+cross-site LAN link (deliveries become future heap callbacks).  Every node
+runs a receive loop, so each delivery also wakes a blocked mailbox getter —
+the full send → route → deliver → resume path.
+
+Running this file writes ``BENCH_transport.json`` at the repository root with
+transport events/sec (sends + deliveries per wall second) at 1k, 5k and 10k
+nodes; CI diffs it against the committed baseline and fails on a >20%
+events/sec regression (see ``benchmarks/check_bench_regression.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.net.latency import CompositeLinkModel, LanLinkModel, PerfectLinkModel
+from repro.net.message import Message, MessageType
+from repro.net.transport import Network
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+from repro.types import Address
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_transport.json"
+
+#: nodes -> messages per node (messages shrink at scale to bound runtime).
+SCALES = {1000: 40, 5000: 16, 10000: 10}
+#: think time between two sends of one node (keeps traffic interleaved).
+SEND_GAP = 0.001
+#: payload bytes per message.
+MESSAGE_BYTES = 128
+
+
+def _addresses(nodes: int) -> list[Address]:
+    return [Address("node", f"n{index:05d}") for index in range(nodes)]
+
+
+def _build_network(env: Environment, addresses: list[Address]) -> Network:
+    half = len(addresses) // 2
+    site_of = {
+        address: ("east" if index < half else "west")
+        for index, address in enumerate(addresses)
+    }
+    link_model = CompositeLinkModel(
+        site_of=site_of,
+        # Same-site messages are zero-delay: they exercise the same-tick lane.
+        intra_site=PerfectLinkModel(latency=0.0),
+        # Cross-site messages pay a jittered LAN delay: future heap callbacks.
+        inter_site=LanLinkModel(jitter=0.05),
+    )
+    return Network(env, link_model=link_model, rng=RandomStreams(7))
+
+
+def _sender(env: Environment, network: Network, addresses, index: int, messages: int):
+    nodes = len(addresses)
+    half = nodes // 2
+    offset = 0 if index < half else half
+    same_site = offset + (index - offset + 1) % half
+    cross_site = (index + half) % nodes
+    source = addresses[index]
+    for round_index in range(messages):
+        dest = addresses[same_site if round_index % 2 == 0 else cross_site]
+        network.send(
+            Message(
+                mtype=MessageType.PING,
+                source=source,
+                dest=dest,
+                size_bytes=MESSAGE_BYTES,
+            )
+        )
+        yield env.timeout(SEND_GAP)
+
+
+def _receiver(endpoint):
+    while True:
+        yield endpoint.recv()
+
+
+def _heap_sampler(env: Environment, samples: list[dict]):
+    while True:
+        yield env.timeout(SEND_GAP)
+        samples.append(env.queue_stats())
+
+
+def _run_scenario(nodes: int, messages: int) -> dict:
+    env = Environment()
+    addresses = _addresses(nodes)
+    network = _build_network(env, addresses)
+    endpoints = [network.register(address) for address in addresses]
+    for endpoint in endpoints:
+        env.process(_receiver(endpoint))
+    senders = [
+        env.process(_sender(env, network, addresses, index, messages))
+        for index in range(nodes)
+    ]
+    samples: list[dict] = []
+    sampler = env.process(_heap_sampler(env, samples))
+
+    start = time.perf_counter()
+    # Run until every sender finished, then let the in-flight deliveries land
+    # (receivers end up blocked on empty mailboxes, which is unscheduled).
+    env.run(until=env.all_of(senders))
+    sampler.kill()
+    env.run()
+    wall = time.perf_counter() - start
+
+    stats = network.stats()
+    queue_stats = env.queue_stats()
+    sent = int(stats["net.sent"])
+    delivered = int(stats["net.delivered"])
+    peak_heap = max((s["heap_size"] for s in samples), default=0)
+
+    # Determinism and pipeline invariants: lossless links deliver everything,
+    # nothing is left tombstoned, and the heap never held more than the
+    # in-flight cross-site messages plus the senders' pacing timers.
+    assert sent == nodes * messages, stats
+    assert delivered == sent, stats
+    assert queue_stats["dead_entries"] == 0, queue_stats
+    assert peak_heap < 4 * nodes, (peak_heap, nodes)
+
+    return {
+        "nodes": nodes,
+        "messages_per_node": messages,
+        "wall_seconds": round(wall, 4),
+        "messages_sent": sent,
+        "messages_delivered": delivered,
+        "events_processed": queue_stats["events_processed"],
+        "sampled_max_heap_size": peak_heap,
+        "useful_events": sent + delivered,
+        "events_per_sec": round((sent + delivered) / wall, 1),
+    }
+
+
+def test_transport_benchmark_writes_bench_json():
+    scales = {}
+    for nodes, messages in SCALES.items():
+        scales[str(nodes)] = _run_scenario(nodes, messages)
+
+    payload = {
+        "benchmark": "transport-zero-allocation-delivery",
+        "send_gap": SEND_GAP,
+        "message_bytes": MESSAGE_BYTES,
+        "metric": (
+            "events_per_sec = transport events (sends + deliveries) / wall "
+            "seconds; every message alternates a zero-delay same-site link "
+            "(same-tick lane) and a jittered cross-site LAN link (heap "
+            "callback lane)"
+        ),
+        "scales": scales,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nBENCH_transport.json: {json.dumps(scales, indent=2)}")

@@ -2,34 +2,61 @@
 
 Connection-less interactions preclude using broken connections as a fault
 signal, so RPC-V relies on periodic "heart beat" messages.  The emitter is a
-small process fragment a component attaches to its host; the target list is a
-callable so that it always reflects the component's *current* preferred
+small timer-driven helper a component attaches to its host; the target list
+is a callable so that it always reflects the component's *current* preferred
 coordinator (which changes on suspicion) and so that piggy-backed payloads
 (coordinator list merges, state abstracts) are computed fresh at each beat.
 
-Two scale-minded properties of the emitter:
+Three scale-minded properties of the emitter:
 
-* **one timer per emitter** — every target of a beat shares the single
-  cancellable beat timer; the per-target work is just the message sends.
-  :meth:`HeartbeatEmitter.stop` (or a host crash) cancels the pending timer
-  so retired emitters leave nothing behind in the kernel heap;
-* **one payload per beat** — the payload callable is evaluated and
-  deep-copied once per beat, so nested mutables (coordinator lists, state
-  abstracts) are snapshotted instead of aliasing the sender's live state
-  across every target and across the wire.
+* **one callback-lane timer per emitter** — the beat loop rides the kernel's
+  cheap :meth:`~repro.sim.core.Environment.call_at_cancellable` lane instead
+  of a process + Timeout event per beat: per beat, the only kernel traffic is
+  one bare heap tuple plus its cancel token.  Every target of a beat shares
+  that single timer; the per-target work is just the message sends;
+* **nothing left behind** — :meth:`HeartbeatEmitter.stop` cancels the pending
+  tick, and a host crash does the same through the host's crash hooks, so
+  retired emitters leave no entry in the kernel heap;
+* **one payload per beat** — the payload callable is evaluated once per beat
+  and snapshotted so nested mutables (coordinator lists, state abstracts) are
+  frozen in time instead of aliasing the sender's live state across every
+  target and across the wire.  Already-immutable payloads (None, scalars,
+  frozen mappings) skip the deep copy entirely — it is pure overhead on the
+  hot beat path.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Callable, Iterable
+from types import MappingProxyType
+from typing import Any, Callable, Iterable
 
 from repro.config import FaultDetectionConfig
+from repro.errors import ConfigurationError
 from repro.net.message import Message, MessageType
 from repro.nodes.node import Host
-from repro.sim.core import Interrupt, Process, ProcessKilled, Timeout
+from repro.sim.core import CallHandle
 
 __all__ = ["HeartbeatEmitter"]
+
+#: payload types that are immutable all the way down: safe to share across
+#: targets and beats without a defensive deep copy.
+_IMMUTABLE_SCALARS = (type(None), bool, int, float, complex, str, bytes, frozenset)
+
+
+def _snapshot_payload(value: Any) -> Any:
+    """Freeze one beat's payload: deep-copy only when mutation is possible.
+
+    None and scalar types are immutable, and a :class:`types.MappingProxyType`
+    is treated as frozen by contract (whoever wraps a mapping in a proxy for
+    the wire is promising not to mutate the underlying values).  An empty dict
+    (the default payload) is replaced by a fresh one instead of deep-copied.
+    """
+    if isinstance(value, _IMMUTABLE_SCALARS) or isinstance(value, MappingProxyType):
+        return value
+    if type(value) is dict and not value:
+        return {}
+    return copy.deepcopy(value)
 
 
 class HeartbeatEmitter:
@@ -41,7 +68,7 @@ class HeartbeatEmitter:
         config: FaultDetectionConfig,
         mtype: MessageType,
         targets: Callable[[], Iterable],
-        payload: Callable[[], dict] | None = None,
+        payload: Callable[[], Any] | None = None,
         jitter_fraction: float = 0.1,
     ) -> None:
         self.host = host
@@ -52,65 +79,68 @@ class HeartbeatEmitter:
         self.jitter_fraction = jitter_fraction
         self.sent = 0
         self.stopped = False
-        self._process: Process | None = None
-        self._timer: Timeout | None = None
+        self._handle: CallHandle | None = None
+        self._rng = host.rng.stream(f"heartbeat.{host.address}")
 
-    def start(self) -> Process:
-        """Spawn the emission loop on the host (killed with the host)."""
+    def start(self) -> None:
+        """Arm the beat timer on the kernel callback lane (host must be up)."""
+        if not self.host.up:
+            raise ConfigurationError(
+                f"cannot start heartbeat on crashed host {self.host.address}"
+            )
         self.stopped = False
-        self._process = self.host.spawn(self._run(), name=f"{self.host.address}:heartbeat")
-        return self._process
+        # Desynchronise emitters so every component does not beat in lockstep.
+        initial = float(self._rng.uniform(0.0, self.config.heartbeat_period))
+        env = self.host.env
+        self._handle = env.call_at_cancellable(env.now + initial, self._tick)
+        # A crash must reclaim the pending tick the same way it kills the
+        # host's processes; the hook removes itself through stop().
+        self.host.add_crash_hook(self._on_host_crash)
 
     def stop(self) -> None:
-        """Retire the emitter: cancel the pending beat timer and its process.
+        """Retire the emitter: cancel the pending beat tick.
 
         Idempotent; safe to call on an emitter whose host already crashed
-        (the kill then already cancelled the timer through the loop's
-        ``finally``).
+        (the crash hook then already reclaimed the tick).
         """
         if self.stopped:
             return
         self.stopped = True
-        if self._process is not None and self._process.is_alive:
-            self._process.kill("heartbeat-stop")
-        elif self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
+        self.host.remove_crash_hook(self._on_host_crash)
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.cancel()
+
+    def _on_host_crash(self, _host: Host) -> None:
+        self.stop()
 
     @property
-    def pending_timer(self) -> Timeout | None:
-        """The beat timer currently armed, if any (observability / tests)."""
-        return self._timer
+    def pending_timer(self) -> CallHandle | None:
+        """The beat tick currently armed, if any (observability / tests)."""
+        return self._handle
 
-    def _run(self):
-        rng = self.host.rng.stream(f"heartbeat.{self.host.address}")
-        period = self.config.heartbeat_period
-        # Desynchronise emitters so every component does not beat in lockstep.
-        initial = float(rng.uniform(0.0, period))
-        try:
-            self._timer = self.host.sleep(initial)
-            yield self._timer
-            while not self.stopped:
-                self.beat_now()
-                jitter = float(rng.uniform(1.0 - self.jitter_fraction, 1.0 + self.jitter_fraction))
-                self._timer = self.host.sleep(period * jitter)
-                yield self._timer
-        except (Interrupt, ProcessKilled):
+    def _tick(self, _arg: Any = None) -> None:
+        self._handle = None
+        if self.stopped or not self.host.up:
             return
-        finally:
-            timer, self._timer = self._timer, None
-            if timer is not None and not timer.processed:
-                timer.cancel()
+        self.beat_now()
+        jitter = float(
+            self._rng.uniform(1.0 - self.jitter_fraction, 1.0 + self.jitter_fraction)
+        )
+        env = self.host.env
+        self._handle = env.call_at_cancellable(
+            env.now + self.config.heartbeat_period * jitter, self._tick
+        )
 
     def beat_now(self) -> int:
         """Send one round of heart-beats immediately; returns how many.
 
-        The payload is snapshotted (deep copy) once for the whole round: all
-        targets share one frozen-in-time payload instead of aliasing the
-        emitter's live nested state.
+        The payload is snapshotted once for the whole round: all targets
+        share one frozen-in-time payload instead of aliasing the emitter's
+        live nested state (immutable payloads skip the copy).
         """
         count = 0
-        payload = copy.deepcopy(self.payload())
+        payload = _snapshot_payload(self.payload())
         for target in self.targets():
             if target is None or target == self.host.address:
                 continue

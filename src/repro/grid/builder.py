@@ -107,10 +107,16 @@ class Grid:
     def run_until(self, process: Process, timeout: float) -> bool:
         """Run until ``process`` terminates or ``timeout`` virtual seconds pass.
 
-        Returns True when the process finished in time.
+        Returns True when the process finished in time.  The race runs
+        through :meth:`Environment.wait_any` (in a small watcher process), so
+        the losing side — the expiry timer, or the stale wait on a process
+        that outlived the deadline — is always cancelled and detached.
         """
         deadline = self.env.now + timeout
-        self.env.run(until=self.env.any_of([process, self.env.timeout(timeout)]))
+        watcher = self.env.process(
+            self.env.wait_any([process], timeout=timeout), name="run-until"
+        )
+        self.env.run(until=watcher)
         return not process.is_alive and self.env.now <= deadline
 
     # ------------------------------------------------------------- observations

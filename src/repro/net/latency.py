@@ -32,7 +32,17 @@ __all__ = [
 
 
 class LinkModel(Protocol):
-    """Protocol implemented by every link cost model."""
+    """Protocol implemented by every link cost model.
+
+    Caching contract: the transport resolves each (source, dest) pair once —
+    through ``resolve_link(source, dest)`` when the model defines it (see
+    :class:`CompositeLinkModel`), identity otherwise — and caches the
+    resulting ``transfer_time`` / ``loss_probability``.  Models are therefore
+    treated as static per pair; a model whose per-pair answers can change
+    mid-run must expose ``on_topology_change(hook)`` and invoke the hooks on
+    every change (or the owner must call ``Network.flush_routes()`` /
+    reassign ``Network.link_model``, which also flushes).
+    """
 
     def transfer_time(
         self, source: Address, dest: Address, size_bytes: int, rng: np.random.Generator
@@ -145,7 +155,13 @@ class InternetLinkModel:
 
 
 class CompositeLinkModel:
-    """Chooses between an intra-site and an inter-site model per message."""
+    """Chooses between an intra-site and an inter-site model per message.
+
+    Consumers that cache per-pair routes (the transport does) can resolve the
+    concrete leaf model once via :meth:`resolve_link` and subscribe to
+    :meth:`on_topology_change` so a later :meth:`assign` invalidates their
+    cache.
+    """
 
     def __init__(
         self,
@@ -158,10 +174,22 @@ class CompositeLinkModel:
         self._intra = intra_site
         self._inter = inter_site
         self._default_site = default_site
+        self._topology_hooks: list = []
 
     def assign(self, address: Address, site: str) -> None:
         """Register (or update) the site of an endpoint."""
         self._site_of[address] = site
+        for hook in self._topology_hooks:
+            hook()
+
+    def on_topology_change(self, hook) -> None:
+        """Register a callable invoked whenever a site assignment changes."""
+        if hook not in self._topology_hooks:
+            self._topology_hooks.append(hook)
+
+    def resolve_link(self, source: Address, dest: Address) -> LinkModel:
+        """The concrete leaf model governing the ``source`` → ``dest`` pair."""
+        return self._intra if self._same_site(source, dest) else self._inter
 
     def site_of(self, address: Address) -> str:
         """Site an endpoint belongs to (``default_site`` when unknown)."""

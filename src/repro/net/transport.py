@@ -91,13 +91,69 @@ class Network:
         partitions: PartitionManager | None = None,
     ) -> None:
         self.env = env
-        self.link_model: LinkModel = link_model or PerfectLinkModel()
-        self.rng = rng or RandomStreams(0)
-        self.monitor = monitor or Monitor()
+        self._link_model: LinkModel = link_model or PerfectLinkModel()
+        self._rng = rng or RandomStreams(0)
+        self._monitor = monitor or Monitor()
         self.partitions = partitions or PartitionManager()
         self._endpoints: dict[Address, Endpoint] = {}
         #: optional hooks called on every successful delivery (testing aid).
         self._delivery_hooks: list[Callable[[Message], None]] = []
+        #: per-(source, dest) cache of (transfer_time, loss_probability):
+        #: the link-model resolution (e.g. the composite's site lookups) is
+        #: paid once per pair, not once per message.
+        self._routes: dict[tuple[Address, Address], tuple] = {}
+        self._routes_hooked = False
+        # Hot-path handles, resolved once per network instead of once per
+        # message; the rng/monitor setters re-resolve them so reassignment
+        # cannot desync the handles from the by-name paths.
+        self._rebind_rng_handles()
+        self._rebind_counter_handles()
+
+    def _rebind_rng_handles(self) -> None:
+        self._loss_random = self._rng.bound("net.loss", "random")
+        self._delay_stream = self._rng.stream("net.delay")
+
+    def _rebind_counter_handles(self) -> None:
+        monitor = self._monitor
+        self._c_sent = monitor.counter("net.sent")
+        self._c_bytes_sent = monitor.counter("net.bytes_sent")
+        self._c_delivered = monitor.counter("net.delivered")
+        self._c_bytes_delivered = monitor.counter("net.bytes_delivered")
+
+    @property
+    def rng(self) -> RandomStreams:
+        """The network's random streams; reassigning re-binds the handles."""
+        return self._rng
+
+    @rng.setter
+    def rng(self, rng: RandomStreams) -> None:
+        self._rng = rng
+        self._rebind_rng_handles()
+
+    @property
+    def monitor(self) -> Monitor:
+        """The network's monitor; reassigning re-binds the counter handles."""
+        return self._monitor
+
+    @monitor.setter
+    def monitor(self, monitor: Monitor) -> None:
+        self._monitor = monitor
+        self._rebind_counter_handles()
+
+    @property
+    def link_model(self) -> LinkModel:
+        """The link cost model; assigning a new one flushes the route cache."""
+        return self._link_model
+
+    @link_model.setter
+    def link_model(self, model: LinkModel) -> None:
+        self._link_model = model
+        self.flush_routes()
+
+    def flush_routes(self) -> None:
+        """Drop the per-pair route cache (after link-model reconfiguration)."""
+        self._routes.clear()
+        self._routes_hooked = False
 
     # -- endpoint management ---------------------------------------------------
     def register(self, address: Address) -> Endpoint:
@@ -143,10 +199,18 @@ class Network:
         manager blocks the pair (checked both at send and at delivery time),
         the destination endpoint is down at delivery time, or the endpoint
         restarted in between (incarnation mismatch).
+
+        Event-allocation-free per message: the delivery is a bare ``call_at``
+        callback entry carrying an (message, incarnation) pair — no
+        per-message Timeout/Event/closure — the loss roll and delay draw use
+        the pre-bound stream handles, the link model is resolved through the
+        per-pair route cache, and the counters are pre-resolved handles.
         """
-        message.sent_at = self.env.now
-        self.monitor.incr("net.sent")
-        self.monitor.incr("net.bytes_sent", message.wire_bytes)
+        env = self.env
+        message.sent_at = env.now
+        self._c_sent.value += 1.0
+        wire = message.wire_bytes
+        self._c_bytes_sent.value += wire
 
         dest_endpoint = self._endpoints.get(message.dest)
         if dest_endpoint is None:
@@ -160,24 +224,47 @@ class Network:
         # stream for every send, whether or not the pair is lossy, so that
         # reconfiguring the link model never reshuffles the stream for the
         # sends that follow (sweeps compare like with like).
-        loss_roll = float(self.rng.stream("net.loss").random())
-        loss_probability = self.link_model.loss_probability(message.source, message.dest)
+        loss_roll = self._loss_random()
+        route = self._routes.get((message.source, message.dest))
+        if route is None:
+            route = self._resolve_route(message.source, message.dest)
+        loss_probability = route[1]
         if loss_probability > 0.0 and loss_roll < loss_probability:
             self.monitor.incr("net.dropped.loss")
             return
 
-        delay = self.link_model.transfer_time(
-            message.source, message.dest, message.wire_bytes, self.rng.stream("net.delay")
-        )
-        # Stamp the destination's incarnation at send time: a restart while
-        # the message is in flight invalidates the delivery.
-        incarnation = dest_endpoint.incarnation
-        timeout = self.env.timeout(max(delay, 0.0))
-        timeout.callbacks.append(
-            lambda _event, m=message, inc=incarnation: self._deliver(m, inc)
+        delay = route[0](message.source, message.dest, wire, self._delay_stream)
+        # Capture the destination's incarnation at send time (per delivery,
+        # not on the message — a caller may legally re-send the same Message
+        # object): a restart while in flight invalidates the delivery.
+        env.call_at(
+            env.now + delay if delay > 0.0 else env.now,
+            self._deliver,
+            (message, dest_endpoint.incarnation),
         )
 
-    def _deliver(self, message: Message, send_incarnation: int | None = None) -> None:
+    def _resolve_route(self, source: Address, dest: Address) -> tuple:
+        """Resolve and cache the (transfer_time, loss_probability) for a pair.
+
+        Composite models resolve to the concrete per-pair leaf model once, so
+        the per-message path skips the site lookups entirely.  The first
+        resolution subscribes the cache to the model's topology-change hook
+        (when it offers one) so site reassignment invalidates stale routes.
+        """
+        model = self._link_model
+        resolve = getattr(model, "resolve_link", None)
+        leaf = model if resolve is None else resolve(source, dest)
+        route = (leaf.transfer_time, float(leaf.loss_probability(source, dest)))
+        self._routes[(source, dest)] = route
+        if not self._routes_hooked:
+            subscribe = getattr(model, "on_topology_change", None)
+            if subscribe is not None:
+                subscribe(self._routes.clear)
+            self._routes_hooked = True
+        return route
+
+    def _deliver(self, in_flight: "tuple[Message, int | None]") -> None:
+        message, send_incarnation = in_flight
         endpoint = self._endpoints.get(message.dest)
         if endpoint is None:  # pragma: no cover - endpoint removed mid-flight
             self.monitor.incr("net.dropped.unknown_dest")
@@ -197,8 +284,8 @@ class Network:
             self.monitor.incr("net.dropped.stale_incarnation")
             return
         endpoint.delivered += 1
-        self.monitor.incr("net.delivered")
-        self.monitor.incr("net.bytes_delivered", message.wire_bytes)
+        self._c_delivered.value += 1.0
+        self._c_bytes_delivered.value += message.wire_bytes
         endpoint.mailbox.put(message)
         for hook in self._delivery_hooks:
             hook(message)

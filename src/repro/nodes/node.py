@@ -64,6 +64,9 @@ class Host:
         self._processes: list[Process] = []
         self._restart_callback: Callable[["Host"], None] | None = None
         self._crash_callback: Callable[["Host"], None] | None = None
+        #: extra crash hooks (e.g. heartbeat emitters reclaiming their
+        #: pending kernel-lane timers); removable, unlike on_crash's slot.
+        self._crash_hooks: list[Callable[["Host"], None]] = []
 
         # availability bookkeeping
         self._last_transition = env.now
@@ -79,6 +82,23 @@ class Host:
     def on_crash(self, callback: Callable[["Host"], None]) -> None:
         """Install an optional crash hook (observability only)."""
         self._crash_callback = callback
+
+    def add_crash_hook(self, hook: Callable[["Host"], None]) -> None:
+        """Register an additional crash hook (idempotent; see remove_crash_hook).
+
+        Used by helpers that schedule kernel callback-lane work on behalf of
+        this host (e.g. heartbeat emitters) so a crash reclaims their pending
+        entries the same way it kills the host's processes.
+        """
+        if hook not in self._crash_hooks:
+            self._crash_hooks.append(hook)
+
+    def remove_crash_hook(self, hook: Callable[["Host"], None]) -> None:
+        """Deregister a crash hook installed with add_crash_hook (idempotent)."""
+        try:
+            self._crash_hooks.remove(hook)
+        except ValueError:
+            pass
 
     # -- process management --------------------------------------------------------
     def spawn(
@@ -118,6 +138,8 @@ class Host:
         self.network.set_endpoint_up(self.address, False)
         self.monitor.incr(f"faults.{self.address.kind}")
         self.monitor.trace(now, "crash", address=str(self.address), cause=str(cause))
+        for hook in list(self._crash_hooks):  # hooks may deregister themselves
+            hook(self)
         if self._crash_callback is not None:
             self._crash_callback(self)
 

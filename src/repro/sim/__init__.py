@@ -16,6 +16,7 @@ confined cluster for the same reason).
 from repro.sim.core import (
     AllOf,
     AnyOf,
+    CallHandle,
     Environment,
     Event,
     Interrupt,
@@ -26,13 +27,15 @@ from repro.sim.core import (
     WaitOutcome,
     wait_any,
 )
-from repro.sim.monitor import Monitor, TimeSeries
+from repro.sim.monitor import Counter, Monitor, TimeSeries
 from repro.sim.rng import RandomStreams
 from repro.sim.store import FilterStore, PriorityStore, Store
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CallHandle",
+    "Counter",
     "Environment",
     "Event",
     "FilterStore",

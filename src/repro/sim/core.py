@@ -2,7 +2,8 @@
 
 The kernel follows the process-interaction world view:
 
-* an :class:`Environment` owns the virtual clock and the pending-event heap;
+* an :class:`Environment` owns the virtual clock and the pending-event
+  schedule;
 * a :class:`Process` wraps a Python generator; each value the generator yields
   must be an :class:`Event`; the process is resumed when that event fires;
 * :class:`Timeout` is the elementary "wait for some virtual time" event;
@@ -22,16 +23,23 @@ timeouts, withdraws conditions from their constituent events, and purges
 store getter queues — so a killed process reclaims everything it was blocked
 on, and the heap does not fill with dead timers at scale.
 
+Scheduling is split over **three lanes** (see :class:`Environment`): an
+urgent same-tick deque, a normal same-tick deque, and the time-ordered heap;
+the heap carries both full events and bare ``call_at`` callback entries.
+
 The implementation is intentionally dependency-free and deterministic: events
-scheduled at the same virtual time fire in scheduling order (FIFO tie-break on
-a monotonically increasing sequence number).
+scheduled at the same virtual time fire in lane order (urgent before normal)
+and FIFO within a lane (a monotonically increasing sequence number breaks
+heap ties).
 """
 
 from __future__ import annotations
 
-import heapq
+import gc
 import itertools
+from collections import deque
 from collections.abc import Callable, Generator, Iterable
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
 from typing import Any
 
 __all__ = [
@@ -44,10 +52,13 @@ __all__ = [
     "Process",
     "AnyOf",
     "AllOf",
+    "CallHandle",
     "Environment",
     "WaitOutcome",
     "wait_any",
 ]
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -157,12 +168,16 @@ class Event:
 
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        """Trigger the event successfully with ``value``."""
+        """Trigger the event successfully with ``value``.
+
+        A triggered event fires in the current tick: it joins the same-tick
+        FIFO lane and never touches the time-ordered heap.
+        """
         if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        self.env._tick.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -176,7 +191,7 @@ class Event:
             raise SimulationError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env._schedule(self)
+        self.env._tick.append(self)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -241,20 +256,20 @@ def _cancel_on_abandon(timeout: "Timeout") -> None:
 class Timeout(Event):
     """An event that fires ``delay`` units of virtual time in the future.
 
-    A pending timeout can be :meth:`cancel`-led: the heap entry is tombstoned
-    (skipped on pop, removed in bulk by compaction) and its callbacks never
-    run.  Timeouts also cancel *themselves* when their last waiter detaches —
-    the abandon cascade — so the losing timer of a reply-vs-timeout race does
-    not linger in the heap.
+    A zero-delay timeout joins the same-tick FIFO lane (no heap traffic); a
+    positive delay is pushed on the heap.  A pending timeout can be
+    :meth:`cancel`-led: the heap entry is tombstoned (skipped on pop, removed
+    in bulk by compaction) and its callbacks never run.  Timeouts also cancel
+    *themselves* when their last waiter detaches — the abandon cascade — so
+    the losing timer of a reply-vs-timeout race does not linger in the heap.
     """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
         # Timeouts dominate event allocation on the protocol hot paths, so
-        # Event.__init__ is inlined here (one call fewer per timer).
+        # Event.__init__ is inlined here (one call fewer per timer), and the
+        # heap push is inlined too (no Environment._schedule indirection).
         self.env = env
         self.callbacks = []
         self._value = value
@@ -264,21 +279,32 @@ class Timeout(Event):
         self._cancelled = False
         self._abandon_hook = _cancel_on_abandon
         self.delay = delay
-        env._schedule(self, delay=delay)
+        if delay > 0.0:
+            _heappush(env._queue, (env._now + delay, next(env._counter), self))
+        elif delay == 0.0:
+            env._tick.append(self)
+        else:
+            raise SimulationError(f"negative delay {delay!r}")
 
     def cancel(self) -> bool:
         """Cancel the timeout before it fires.
 
-        Returns True when the timeout was still pending (it is now a heap
-        tombstone and its callbacks will never run), False when it had already
-        fired or been cancelled.
+        Returns True when the timeout was still pending (its callbacks will
+        never run), False when it had already fired or been cancelled.  A
+        heap-resident timer becomes a tombstone counted by the compactor; a
+        same-tick (zero-delay) timer is simply skipped when its lane drains.
         """
-        # callbacks is None from the moment the event is popped off the heap:
-        # a fired timeout is no longer a heap entry, so cancelling it must not
-        # create a phantom tombstone (even mid-resume, before _processed).
+        # callbacks is None from the moment the event is popped off the
+        # schedule: a fired timeout is no longer a queue entry, so cancelling
+        # it must not create a phantom tombstone (even mid-resume, before
+        # _processed).
         if self._processed or self._cancelled or self.callbacks is None:
             return False
         self._cancelled = True
+        if self.delay == 0.0:
+            # Same-tick lane: the drain loop skips cancelled events; the lane
+            # empties every tick, so no tombstone accounting is needed.
+            return True
         # Inlined Environment._note_cancellation (cancellation is hot).
         env = self.env
         env._dead_entries += 1
@@ -304,7 +330,53 @@ class Initialize(Event):
         self.callbacks = [process._resume]
         self._ok = True
         self._value = None
-        env._schedule(self, priority=Environment._PRIORITY_URGENT)
+        env._urgent.append(self)
+
+
+class CallHandle:
+    """Cancellation token for a :meth:`Environment.call_at_cancellable` entry.
+
+    The heap entry itself is a bare tuple; this handle is the only per-call
+    allocation, and only cancellable calls pay it.  A cancelled handle is a
+    heap tombstone exactly like a cancelled :class:`Timeout`: it is counted
+    in :meth:`Environment.queue_stats`, skipped when it surfaces at the top,
+    and dropped in bulk by :meth:`Environment._compact`.
+    """
+
+    __slots__ = ("env", "_cancelled", "_fired")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the scheduled call has been cancelled."""
+        return self._cancelled
+
+    @property
+    def pending(self) -> bool:
+        """True while the scheduled call has neither fired nor been cancelled."""
+        return not (self._fired or self._cancelled)
+
+    def cancel(self) -> bool:
+        """Cancel the scheduled call; True when it was still pending."""
+        if self._fired or self._cancelled:
+            return False
+        self._cancelled = True
+        env = self.env
+        env._dead_entries += 1
+        if (
+            env._dead_entries >= env._COMPACTION_MIN_DEAD
+            and 2 * env._dead_entries >= len(env._queue)
+        ):
+            env._compact()
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"<CallHandle {state}>"
 
 
 class Process(Event):
@@ -349,10 +421,8 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if not self.is_alive:
             return
-        self.env._schedule(
-            _InterruptEvent(self.env, self, Interrupt(cause)),
-            priority=Environment._PRIORITY_URGENT,
-        )
+        env = self.env
+        env._urgent.append(_InterruptEvent(env, self, Interrupt(cause)))
 
     def wait_any(self, events: Iterable[Event], timeout: float | None = None):
         """Process fragment racing ``events`` against an optional ``timeout``.
@@ -372,10 +442,8 @@ class Process(Event):
         """
         if not self.is_alive:
             return
-        self.env._schedule(
-            _InterruptEvent(self.env, self, ProcessKilled(cause)),
-            priority=Environment._PRIORITY_URGENT,
-        )
+        env = self.env
+        env._urgent.append(_InterruptEvent(env, self, ProcessKilled(cause)))
 
     # -- kernel callbacks ---------------------------------------------------
     def _resume(self, event: Event) -> None:
@@ -403,7 +471,7 @@ class Process(Event):
                 if not self.triggered:
                     self._ok = True
                     self._value = stop.value
-                    self.env._schedule(self)
+                    self.env._tick.append(self)
                 return
             except ProcessKilled:
                 # Crash semantics: a killed process simply disappears.
@@ -412,7 +480,7 @@ class Process(Event):
                 if not self.triggered:
                     self._ok = True
                     self._value = None
-                    self.env._schedule(self)
+                    self.env._tick.append(self)
                 return
             except BaseException as err:  # escaped process failure
                 self._target = None
@@ -420,7 +488,7 @@ class Process(Event):
                 if not self.triggered:
                     self._ok = False
                     self._value = err
-                    self.env._schedule(self)
+                    self.env._tick.append(self)
                 return
 
             if not isinstance(target, Event):
@@ -439,8 +507,9 @@ class Process(Event):
                 )
                 continue
 
-            if target.triggered and target.callbacks is None:
-                # Already processed: resume immediately with its outcome.
+            if target.callbacks is None:
+                # Already processed (callbacks is None only once processed):
+                # resume immediately with its outcome.
                 if target._ok:
                     value = target._value
                     continue
@@ -523,24 +592,37 @@ class Condition(Event):
     __slots__ = ("events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
-        super().__init__(env)
-        self.events: tuple[Event, ...] = tuple(events)
-        self._count = 0
+        # Conditions guard every racing wait of the protocol layers, so
+        # Event.__init__ is inlined (one call fewer per race).
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
         self._abandon_hook = _cancel_condition_on_abandon
-        for event in self.events:
-            if event.env is not env:
-                raise SimulationError("condition mixes environments")
+        self.events = tuple(events)
+        self._count = 0
         if not self.events:
             self.succeed(self._collect())
             return
+        for event in self.events:
+            # Validate before any subscription: failing halfway through the
+            # subscribe loop would leak this half-built condition's _check
+            # onto the earlier events.
+            if event.env is not env:
+                raise SimulationError("condition mixes environments")
         check = self._check  # bind once: this loop runs on the hot path
         for event in self.events:
-            if event._value is not _PENDING and event.callbacks is None:
-                check(event)
+            callbacks = event.callbacks
+            if callbacks is not None:
+                callbacks.append(check)
             else:
-                event.callbacks.append(check)  # type: ignore[union-attr]
-            if self._value is not _PENDING:
-                break
+                # callbacks is None only once processed; re-check the value.
+                check(event)
+                if self._value is not _PENDING:
+                    break
 
     def cancel(self) -> None:
         """Withdraw from every constituent event that has not fired yet.
@@ -549,6 +631,7 @@ class Condition(Event):
         untriggered when still pending — nobody is waiting for it anymore.
         """
         check = self._check
+        dead = 0
         for event in self.events:
             callbacks = event.callbacks
             if callbacks is not None:
@@ -556,11 +639,35 @@ class Condition(Event):
                     callbacks.remove(check)
                 except ValueError:
                     continue
-                # Inlined Event._maybe_abandon (this is the race-loser path).
+                if callbacks:
+                    continue
+                # Inlined Event._maybe_abandon (this is the race-loser path),
+                # with the ubiquitous timeout hook dispatched without the
+                # double indirection of hook -> Timeout.cancel.
                 hook = event._abandon_hook
-                if hook is not None and not callbacks:
-                    event._abandon_hook = None
+                if hook is None:
+                    continue
+                event._abandon_hook = None
+                if hook is _cancel_on_abandon:
+                    # Inlined Timeout.cancel: the event still held callbacks
+                    # a moment ago, so it is a pending (never-fired) timer —
+                    # only the already-cancelled guard applies.
+                    if event._cancelled:
+                        continue
+                    event._cancelled = True
+                    if event.delay != 0.0:
+                        dead += 1  # heap tombstone (same-tick ones just drain)
+                else:
                     hook(event)
+        if dead:
+            # One batched tombstone-accounting pass for the whole loser set.
+            env = self.env
+            env._dead_entries += dead
+            if (
+                env._dead_entries >= env._COMPACTION_MIN_DEAD
+                and 2 * env._dead_entries >= len(env._queue)
+            ):
+                env._compact()
 
     def _collect(self) -> dict[Event, Any]:
         return {e: e._value for e in self.events if e._value is not _PENDING and e._ok}
@@ -577,7 +684,11 @@ class Condition(Event):
         else:
             self._count += 1
             if self._satisfied():
-                self.succeed(self._collect())
+                # Inlined succeed(): the condition trigger is the single
+                # hottest succeed call site in the protocol layers.
+                self._ok = True
+                self._value = self._collect()
+                self.env._tick.append(self)
         if self._value is not _PENDING:
             # Detach from the losers so they do not keep a stale callback.
             self.cancel()
@@ -590,6 +701,23 @@ class AnyOf(Condition):
 
     def _satisfied(self) -> bool:
         return self._count >= 1
+
+    def _check(self, event: Event) -> None:
+        # Specialised Condition._check: the first success always satisfies,
+        # so the _satisfied() dispatch is skipped — this is the protocol
+        # layers' hottest trigger path (every reply-vs-timeout race).
+        if self._value is not _PENDING:
+            return
+        if event._ok:
+            self._count += 1
+            self._ok = True
+            self._value = self._collect()
+            self.env._tick.append(self)
+        else:
+            event._defused = True
+            self.fail(event._value)
+        # Detach from the losers so they do not keep a stale callback.
+        self.cancel()
 
 
 class AllOf(Condition):
@@ -672,32 +800,57 @@ def wait_any(env: "Environment", events: Iterable[Event], timeout: float | None 
 
 
 class Environment:
-    """The simulation environment: virtual clock plus pending-event heap.
+    """The simulation environment: virtual clock plus a three-lane schedule.
 
-    Cancelled events stay in the heap as *tombstones*: they are skipped when
-    they surface at the top, and when they outnumber half of the heap (past a
+    Work pending at the current tick is kept out of the heap entirely:
+
+    * **urgent lane** — a FIFO deque for kernel-priority events (process
+      initialisation, interrupt/kill delivery).  Always drained first, so an
+      interrupt scheduled mid-tick preempts every normal event of that tick.
+    * **same-tick lane** — a FIFO deque for everything triggered at the
+      current time: ``succeed``/``fail`` chains, condition triggers,
+      zero-delay timeouts, and zero-delay :meth:`call_at` callbacks.  Drained
+      after the urgent lane, before the clock may advance.
+    * **event heap** — the time-ordered heap for future work.  It holds both
+      full events (``(time, seq, event)``) and bare callback entries
+      scheduled with :meth:`call_at` (``(time, seq, None, fn, arg)``, with a
+      :class:`CallHandle` in place of ``None`` for cancellable calls) — the
+      callback lane costs one tuple per call instead of an :class:`Event`
+      allocation, which is what keeps per-message transport delivery
+      allocation-free.
+
+    Within a lane, ordering is FIFO; across lanes at one tick it is urgent →
+    same-tick → heap entries due now.  Cancelled heap entries (timers and
+    call handles) stay behind as *tombstones*: they are skipped when they
+    surface at the top, and when they outnumber half of the heap (past a
     small floor) the whole heap is compacted in one O(n) pass.  This keeps
-    both cancellation and scheduling O(log live) amortised, no matter how many
-    raced-and-lost timers the protocol layers churn through.
+    both cancellation and scheduling O(log live) amortised, no matter how
+    many raced-and-lost timers the protocol layers churn through.
     """
 
-    _PRIORITY_URGENT = 0
-    _PRIORITY_NORMAL = 1
     #: never compact below this many tombstones (avoids thrashing tiny heaps).
     _COMPACTION_MIN_DEAD = 64
+    #: gen-0 GC threshold applied while run() drains the schedule (see run()).
+    _GC_BATCH_GEN0 = 100_000
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        #: time-ordered heap of (time, seq, event) / (time, seq, fn, arg[, handle]).
+        self._queue: list[tuple] = []
+        #: same-tick FIFO lane: events and (fn, arg) callback pairs.
+        self._tick: deque = deque()
+        #: urgent same-tick FIFO lane: kernel-priority events only.
+        self._urgent: deque = deque()
         self._counter = itertools.count()
         self._active_process: Process | None = None
         #: cancelled entries still sitting in the heap.
         self._dead_entries = 0
         #: number of bulk compactions performed (observability / tests).
         self.compactions = 0
-        #: number of events actually processed by step() (tombstones excluded).
+        #: number of events actually processed (tombstones excluded).
         self.events_processed = 0
-        #: high-water mark of the heap size, tombstones included.
+        #: high-water mark of the heap size, tombstones included (observed
+        #: at stats snapshots and compactions; see queue_stats()).
         self.peak_heap_size = 0
 
     # -- clock --------------------------------------------------------------
@@ -738,59 +891,153 @@ class Environment:
         """Shorthand for :func:`wait_any` (a ``yield from``-able fragment)."""
         return wait_any(self, events, timeout)
 
-    # -- scheduling ----------------------------------------------------------
-    def _schedule(
-        self, event: Event, delay: float = 0.0, priority: int | None = None
-    ) -> None:
-        if priority is None:
-            priority = self._PRIORITY_NORMAL
-        queue = self._queue
-        heapq.heappush(queue, (self._now + delay, priority, next(self._counter), event))
-        if len(queue) > self.peak_heap_size:
-            self.peak_heap_size = len(queue)
+    # -- callback lane -------------------------------------------------------
+    def call_at(self, when: float, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` at virtual time ``when`` (fire-and-forget).
+
+        The cheap lane for hot paths that need neither an :class:`Event` to
+        wait on nor cancellation: one bare tuple on the heap (or a same-tick
+        lane entry when ``when`` is not in the future) instead of an event
+        allocation.  ``fn`` must not block; it runs exactly like an event
+        callback.
+        """
+        if when <= self._now:
+            self._tick.append((fn, arg))
+            return
+        _heappush(self._queue, (when, next(self._counter), None, fn, arg))
+
+    def call_at_cancellable(
+        self, when: float, fn: Callable[[Any], None], arg: Any = None
+    ) -> CallHandle:
+        """Schedule ``fn(arg)`` at ``when``; returns a :class:`CallHandle`.
+
+        Like :meth:`call_at` plus one :class:`CallHandle` allocation; the
+        handle's :meth:`~CallHandle.cancel` tombstones the entry exactly like
+        a cancelled timer (honoured by :meth:`queue_stats` and
+        :meth:`_compact`).  Entries due in the past fire at the current tick.
+        """
+        handle = CallHandle(self)
+        if when < self._now:
+            when = self._now
+        _heappush(self._queue, (when, next(self._counter), handle, fn, arg))
+        return handle
 
     # -- tombstone bookkeeping -----------------------------------------------
-    # Cancellation accounting lives inline in Timeout.cancel (dead-entry
-    # count + compaction trigger) and in peek()/step() (tombstone pops):
-    # those are the kernel's hottest paths.
+    # Cancellation accounting lives inline in Timeout.cancel / CallHandle.cancel
+    # (dead-entry count + compaction trigger); dead heap tops are skimmed by
+    # _skim(), shared by peek(), step() and the run() drain loop.
 
     def _compact(self) -> None:
-        """Drop every tombstone from the heap in one pass and re-heapify."""
-        self._queue = [entry for entry in self._queue if not entry[3]._cancelled]
-        heapq.heapify(self._queue)
+        """Drop every tombstone from the heap in one pass and re-heapify.
+
+        Covers both tombstone kinds: cancelled events and cancelled
+        :meth:`call_at_cancellable` handles (entry[2] is the event, the
+        handle, or None for an uncancellable :meth:`call_at` entry).
+        """
+        heap_size = len(self._queue)
+        if heap_size > self.peak_heap_size:
+            self.peak_heap_size = heap_size
+        self._queue = [
+            entry for entry in self._queue
+            if entry[2] is None or not entry[2]._cancelled
+        ]
+        _heapify(self._queue)
         self._dead_entries = 0
         self.compactions += 1
 
+    def _skim(self) -> list[tuple]:
+        """Pop dead entries off the heap top; returns the heap (shared helper).
+
+        The single tombstone-pop loop used by :meth:`peek`, :meth:`step` and
+        the :meth:`run` drain loop, so the top-of-heap scan is written (and
+        paid) once.
+        """
+        queue = self._queue
+        while queue:
+            marker = queue[0][2]
+            if marker is None or not marker._cancelled:
+                break
+            _heappop(queue)
+            self._dead_entries -= 1
+        return queue
+
     def queue_stats(self) -> dict[str, int]:
-        """Heap occupancy snapshot: live vs dead entries, peaks, compactions."""
+        """Schedule occupancy snapshot: live vs dead entries, peaks, compactions.
+
+        ``dead_entries`` counts both cancelled timers and cancelled
+        :class:`CallHandle` entries still sitting in the heap.
+        ``peak_heap_size`` is the high-water mark observed at the sampling
+        points (stats snapshots and compactions — the heap is largest right
+        before a compaction, so those points bracket the true peak) rather
+        than being re-checked on every push, which keeps the per-event
+        schedule path free of bookkeeping.
+        """
         heap_size = len(self._queue)
+        if heap_size > self.peak_heap_size:
+            self.peak_heap_size = heap_size
         return {
             "heap_size": heap_size,
             "dead_entries": self._dead_entries,
             "live_entries": heap_size - self._dead_entries,
+            "tick_queued": len(self._tick),
+            "urgent_queued": len(self._urgent),
             "peak_heap_size": self.peak_heap_size,
             "compactions": self.compactions,
             "events_processed": self.events_processed,
         }
 
     def peek(self) -> float:
-        """Time of the next *live* scheduled event, or ``inf`` if none."""
-        queue = self._queue
-        while queue and queue[0][3]._cancelled:  # pop tombstones (lazy deletion)
-            heapq.heappop(queue)
-            self._dead_entries -= 1
-        return queue[0][0] if queue else float("inf")
+        """Time of the next *live* scheduled work item, or ``inf`` if none.
+
+        Same-tick lanes pend at the current time; dead entries (cancelled
+        zero-delay events at the lane head, heap tombstones at the top) are
+        dropped on the way.
+        """
+        if self._urgent:
+            return self._now
+        tick = self._tick
+        while tick:
+            entry = tick[0]
+            if type(entry) is tuple or not entry._cancelled:
+                return self._now
+            tick.popleft()
+        queue = self._skim()
+        return queue[0][0] if queue else _INF
 
     def step(self) -> None:
-        """Process the next live scheduled event."""
-        queue = self._queue
-        while queue and queue[0][3]._cancelled:  # pop tombstones (lazy deletion)
-            heapq.heappop(queue)
-            self._dead_entries -= 1
-        if not queue:
-            raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(queue)
-        self._now = when
+        """Process the next live scheduled work item (one lane entry).
+
+        Mirrors one iteration of the :meth:`run` drain loop (which inlines
+        this logic for speed); keep the two in sync.
+        """
+        event: Event | None = None
+        if self._urgent:
+            event = self._urgent.popleft()
+        else:
+            tick = self._tick
+            while tick:
+                entry = tick.popleft()
+                if type(entry) is tuple:
+                    self.events_processed += 1
+                    entry[0](entry[1])
+                    return
+                if not entry._cancelled:
+                    event = entry
+                    break
+        if event is None:
+            queue = self._skim()
+            if not queue:
+                raise SimulationError("step() on an empty schedule")
+            entry = _heappop(queue)
+            self._now = entry[0]
+            marker = entry[2]
+            if marker is None or marker.__class__ is CallHandle:
+                self.events_processed += 1
+                if marker is not None:
+                    marker._fired = True
+                entry[3](entry[4])
+                return
+            event = marker
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         # Processed before the callbacks run: from their perspective (and
@@ -811,6 +1058,14 @@ class Environment:
         * a number — run until that virtual time (the clock is advanced to it);
         * an :class:`Event` — run until that event has been processed and
           return its value.
+
+        For the duration of the drain the gen-0 GC threshold is raised (and
+        restored on exit): event churn allocates tens of tracked objects per
+        protocol round, and default thresholds make the collector rescan the
+        same surviving timers thousands of times per simulated second.  The
+        kernel's abandon cascade keeps the event graph acyclic once a race
+        resolves, so practically all garbage is reclaimed by reference
+        counting and delaying cycle detection is safe.
         """
         stop_event: Event | None = None
         stop_time: float | None = None
@@ -825,38 +1080,89 @@ class Environment:
                     f"until={stop_time!r} is in the past (now={self._now!r})"
                 )
 
+        restore_gc_threshold: tuple[int, int, int] | None = None
+        if gc.isenabled():
+            thresholds = gc.get_threshold()
+            if 0 < thresholds[0] < self._GC_BATCH_GEN0:
+                restore_gc_threshold = thresholds
+                gc.set_threshold(self._GC_BATCH_GEN0, *thresholds[1:])
+        try:
+            return self._drain(stop_event, stop_time)
+        finally:
+            if restore_gc_threshold is not None:
+                gc.set_threshold(*restore_gc_threshold)
+
+    def _drain(self, stop_event: Event | None, stop_time: float | None) -> Any:
+        # Hot drain loop: the body of step() is inlined (locals bound once,
+        # no per-event method dispatch); keep it in sync with step().
+        urgent = self._urgent
+        tick = self._tick
+        heappop = _heappop
         while True:
-            if stop_event is not None and stop_event.processed:
+            if stop_event is not None and stop_event._processed:
                 if not stop_event._ok and not stop_event._defused:
                     raise stop_event._value
                 return stop_event._value
-            next_time = self.peek()
-            if next_time == float("inf"):
-                if stop_time is not None:
+            if urgent:
+                event = urgent.popleft()
+            elif tick:
+                event = tick.popleft()
+                if type(event) is tuple:
+                    self.events_processed += 1
+                    event[0](event[1])
+                    continue
+                if event._cancelled:
+                    continue
+            else:
+                queue = self._skim()
+                if not queue:
+                    if stop_time is not None:
+                        self._now = stop_time
+                    if stop_event is not None:
+                        raise SimulationError(
+                            "run() until an event, but the schedule drained first"
+                        )
+                    return None
+                entry = queue[0]
+                when = entry[0]
+                if stop_time is not None and when > stop_time:
                     self._now = stop_time
-                if stop_event is not None:
-                    raise SimulationError(
-                        "run() until an event, but the schedule drained first"
-                    )
-                return None
-            if stop_time is not None and next_time > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+                    return None
+                heappop(queue)
+                self._now = when
+                marker = entry[2]
+                if marker is None or marker.__class__ is CallHandle:
+                    self.events_processed += 1
+                    if marker is not None:
+                        marker._fired = True
+                    entry[3](entry[4])
+                    continue
+                event = marker
+            self.events_processed += 1
+            callbacks, event.callbacks = event.callbacks, None
+            event._processed = True
+            for callback in callbacks or ():
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
 
     def run_until_idle(self, max_events: int | None = None) -> int:
-        """Drain the queue (optionally at most ``max_events`` steps).
+        """Drain the schedule (optionally at most ``max_events`` steps).
 
-        Returns the number of events processed.  Useful in tests.
+        Returns the number of events processed.  Useful in tests.  The
+        unbounded form delegates to :meth:`run`, so it pays the top-of-heap
+        scan once per event instead of peek-then-step's twice.
         """
-        processed = 0
-        while self.peek() != float("inf"):
-            if max_events is not None and processed >= max_events:
-                break
+        before = self.events_processed
+        if max_events is None:
+            self.run()
+            return self.events_processed - before
+        while self.events_processed - before < max_events and self.peek() != _INF:
+            # peek() already skimmed dead entries, so step() finds a live
+            # head without re-scanning.
             self.step()
-            processed += 1
-        return processed
+        return self.events_processed - before
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        live = len(self._queue) - self._dead_entries
+        live = len(self._queue) - self._dead_entries + len(self._tick) + len(self._urgent)
         return f"<Environment now={self._now!r} pending={live}>"

@@ -13,13 +13,13 @@ components record into it through small, allocation-light helpers.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any
+from types import MappingProxyType
+from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["TimeSeries", "Monitor", "TraceRecord"]
+__all__ = ["Counter", "TimeSeries", "Monitor", "TraceRecord"]
 
 
 @dataclass
@@ -81,11 +81,35 @@ class TimeSeries:
         return self.values[-1] if self.values else default
 
 
+class Counter:
+    """A pre-resolved counter handle: one name lookup at creation, never after.
+
+    Hot paths obtain the handle once (``sent = monitor.counter("net.sent")``)
+    and then increment through it — ``sent.add()``, or ``sent.value += n``
+    where the call overhead matters — with zero per-increment dict-by-string
+    work.  The handle and the monitor share state: :meth:`Monitor.count` and
+    :meth:`Monitor.counters` read the same value.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increment the counter by ``amount``."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
 class Monitor:
     """Collects counters, gauges, time series and trace records for one run."""
 
     def __init__(self) -> None:
-        self.counters: dict[str, float] = defaultdict(float)
+        self._counters: dict[str, Counter] = {}
         self.gauges: dict[str, float] = {}
         self.series: dict[str, TimeSeries] = {}
         self.traces: list[TraceRecord] = []
@@ -93,9 +117,16 @@ class Monitor:
         self.trace_limit = 200_000
 
     # -- counters / gauges ----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the :class:`Counter` handle for ``name``."""
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = self._counters[name] = Counter(name)
+        return handle
+
     def incr(self, name: str, amount: float = 1.0) -> None:
-        """Increment counter ``name`` by ``amount``."""
-        self.counters[name] += amount
+        """Increment counter ``name`` by ``amount`` (by-name convenience)."""
+        self.counter(name).value += amount
 
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
@@ -103,7 +134,20 @@ class Monitor:
 
     def count(self, name: str) -> float:
         """Current value of counter ``name`` (0 if never incremented)."""
-        return self.counters.get(name, 0.0)
+        handle = self._counters.get(name)
+        return handle.value if handle is not None else 0.0
+
+    @property
+    def counters(self) -> Mapping[str, float]:
+        """Read-only snapshot of every counter as a name-to-value mapping.
+
+        Writes go through :meth:`incr` or a :meth:`counter` handle; the
+        mapping is a frozen snapshot, so an accidental ``counters[x] += 1``
+        raises instead of silently updating a throwaway dict.
+        """
+        return MappingProxyType(
+            {name: handle.value for name, handle in self._counters.items()}
+        )
 
     # -- time series ----------------------------------------------------------
     def timeseries(self, name: str) -> TimeSeries:

@@ -41,6 +41,17 @@ class RandomStreams:
     def __call__(self, name: str) -> np.random.Generator:
         return self.stream(name)
 
+    def bound(self, name: str, method: str = "random"):
+        """Pre-resolved draw handle: the bound ``method`` of stream ``name``.
+
+        Hot paths (e.g. the per-message loss roll in the transport) call the
+        returned bound method directly, skipping both the stream-registry
+        lookup and the generator attribute lookup on every draw.  The handle
+        stays coupled to the named stream, so by-name draws and handle draws
+        consume the same deterministic sequence.
+        """
+        return getattr(self.stream(name), method)
+
     # -- convenience draws used across the codebase -------------------------
     def exponential(self, name: str, mean: float) -> float:
         """One exponential draw with the given mean from stream ``name``."""

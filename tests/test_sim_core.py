@@ -504,6 +504,164 @@ class TestWaiterCleanup:
         assert len(store) == 1  # kept for a live consumer, not the dead race
 
 
+class TestSchedulerLanes:
+    """Ordering guarantees of the three scheduling lanes.
+
+    Urgent (init/interrupt) before normal, FIFO within a tick, and the
+    call_at callback lane's cancel tokens honoured by queue_stats() and
+    _compact().
+    """
+
+    def test_same_tick_fifo_order(self, env):
+        order = []
+        events = [env.event() for _ in range(3)]
+
+        def waiter(tag, event):
+            yield event
+            order.append(tag)
+
+        for tag, event in zip("abc", events):
+            env.process(waiter(tag, event))
+
+        def trigger():
+            yield env.timeout(1.0)
+            for event in events:
+                event.succeed()
+
+        env.process(trigger())
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_zero_delay_timeout_stays_off_the_heap(self, env):
+        timeout = env.timeout(0.0, value="now")
+        stats = env.queue_stats()
+        assert stats["heap_size"] == 0
+        assert stats["tick_queued"] == 1
+        env.run()
+        assert timeout.processed
+        assert env.now == 0.0
+
+    def test_cancelled_zero_delay_timeout_skipped_at_drain(self, env):
+        timeout = env.timeout(0.0)
+        keep = env.timeout(0.0, value="keep")
+        assert timeout.cancel()
+        processed = env.run_until_idle()
+        assert processed == 1  # only the live one
+        assert keep.processed
+        assert not timeout.processed
+        assert timeout.cancelled
+
+    def test_urgent_preempts_same_tick_normal(self, env):
+        order = []
+        event = env.event()
+
+        def victim():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                order.append("interrupt")
+
+        def normal_waiter():
+            yield event
+            order.append("normal")
+
+        victim_process = env.process(victim())
+        env.process(normal_waiter())
+
+        def trigger():
+            yield env.timeout(1.0)
+            event.succeed()  # same-tick lane, scheduled first...
+            victim_process.interrupt()  # ...but urgent still preempts it
+
+        env.process(trigger())
+        env.run()
+        assert order == ["interrupt", "normal"]
+
+    def test_step_drains_urgent_lane_first(self, env):
+        order = []
+        event = env.event().succeed()
+        event.callbacks.append(lambda _e: order.append("succeed"))
+
+        def proc():
+            order.append("init")
+            yield env.timeout(1.0)
+
+        env.process(proc())  # Initialize rides the urgent lane
+        env.step()
+        assert order == ["init"]
+        env.step()
+        assert order == ["init", "succeed"]
+
+    def test_call_at_fires_in_time_then_fifo_order(self, env):
+        calls = []
+        env.call_at(2.0, calls.append, "b")
+        env.call_at(1.0, calls.append, "a")
+        env.call_at(2.0, calls.append, "c")
+        env.run()
+        assert calls == ["a", "b", "c"]
+        assert env.now == 2.0
+
+    def test_call_at_due_now_joins_same_tick_lane(self, env):
+        calls = []
+        env.call_at(0.0, calls.append, "x")
+        assert env.queue_stats()["tick_queued"] == 1
+        assert env.queue_stats()["heap_size"] == 0
+        env.run()
+        assert calls == ["x"]
+        assert env.now == 0.0
+
+    def test_callbacks_and_events_share_the_time_order(self, env):
+        order = []
+        env.timeout(1.0).callbacks.append(lambda _e: order.append("t1"))
+        env.call_at(1.0, order.append, "c1")
+        env.timeout(1.0).callbacks.append(lambda _e: order.append("t2"))
+        env.run()
+        assert order == ["t1", "c1", "t2"]
+
+    def test_call_at_cancel_token_is_one_shot(self, env):
+        handle = env.call_at_cancellable(5.0, lambda _arg: None)
+        assert handle.pending
+        assert handle.cancel()
+        assert not handle.cancel()
+        assert handle.cancelled
+        env.run()
+        assert env.now == 0.0  # the tombstone does not drive the clock
+
+    def test_cancelled_call_never_fires_and_counts_as_dead(self, env):
+        calls = []
+        handle = env.call_at_cancellable(1.0, calls.append, "x")
+        handle.cancel()
+        assert env.queue_stats()["dead_entries"] == 1
+        assert env.queue_stats()["live_entries"] == 0
+        env.run()
+        assert calls == []
+
+    def test_fired_call_handle_rejects_cancel(self, env):
+        calls = []
+        handle = env.call_at_cancellable(1.0, calls.append, "x")
+        env.run()
+        assert calls == ["x"]
+        assert not handle.pending
+        assert not handle.cancel()
+        assert env.queue_stats()["dead_entries"] == 0
+
+    def test_cancelled_call_tokens_dropped_by_compaction(self, env):
+        handles = [
+            env.call_at_cancellable(100.0 + i, lambda _arg: None) for i in range(200)
+        ]
+        keep = []
+        env.call_at_cancellable(1.0, keep.append, "kept")
+        for handle in handles:
+            assert handle.cancel()
+        stats = env.queue_stats()
+        assert stats["compactions"] >= 1
+        assert stats["live_entries"] == 1
+        assert stats["heap_size"] < 200  # the heap actually shrank
+        env.run()
+        assert keep == ["kept"]
+        assert env.queue_stats()["heap_size"] == 0
+
+
 class TestStore:
     def test_put_then_get(self, env):
         store = Store(env)
