@@ -1,15 +1,21 @@
-"""Analysis helpers: curve statistics and run reports."""
+"""Analysis helpers: curve statistics, run reports, results-store round trips."""
 
 from repro.analysis.metrics import (
     completion_curve_lag,
+    load_run,
     makespan_overhead,
+    paper_vs_measured,
     plateaux_count,
+    rows_to_columns,
     summarize_series,
 )
 
 __all__ = [
     "completion_curve_lag",
+    "load_run",
     "makespan_overhead",
+    "paper_vs_measured",
     "plateaux_count",
+    "rows_to_columns",
     "summarize_series",
 ]

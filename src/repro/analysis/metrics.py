@@ -3,12 +3,15 @@
 These helpers turn the raw time series collected by the monitor into the
 quantities the paper discusses: infrastructure overhead over the ideal time,
 the replica's lag behind the primary (the plateaux of Figure 9), and compact
-series summaries used by the tests and EXPERIMENTS.md.
+series summaries used by the tests and EXPERIMENTS.md.  They also load the
+JSON artifacts written by the scenario results store back into row/column
+form for paper-vs-measured comparison.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -19,6 +22,9 @@ __all__ = [
     "completion_curve_lag",
     "plateaux_count",
     "summarize_series",
+    "load_run",
+    "rows_to_columns",
+    "paper_vs_measured",
 ]
 
 
@@ -84,3 +90,75 @@ def summarize_series(series: TimeSeries) -> dict[str, float]:
         "final_value": float(values[-1]),
         "max_value": float(values.max()),
     }
+
+
+# ---------------------------------------------------------------------------
+# Results-store round trips
+# ---------------------------------------------------------------------------
+
+
+def load_run(path: str | Path):
+    """Load one scenario results artifact (see :mod:`repro.scenarios.store`).
+
+    Imported lazily so the analysis helpers stay importable on their own.
+    """
+    import json
+
+    from repro.scenarios.store import RunResult
+
+    return RunResult.from_json(json.loads(Path(path).read_text()))
+
+
+def rows_to_columns(rows: Sequence[Mapping[str, Any]]) -> dict[str, np.ndarray]:
+    """Transpose result rows into named numpy columns (plotting-friendly).
+
+    Non-numeric values become object arrays; missing keys become NaN.
+    """
+    if not rows:
+        return {}
+    keys: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in keys:
+                keys.append(key)
+    columns: dict[str, np.ndarray] = {}
+    for key in keys:
+        values = [row.get(key, float("nan")) for row in rows]
+        try:
+            columns[key] = np.asarray(values, dtype=float)
+        except (TypeError, ValueError):
+            columns[key] = np.asarray(values, dtype=object)
+    return columns
+
+
+def paper_vs_measured(
+    rows: Sequence[Mapping[str, Any]],
+    paper_points: Mapping[Any, float],
+    x_key: str,
+    y_key: str,
+) -> list[dict[str, Any]]:
+    """Join measured rows against the paper's digitised points.
+
+    ``paper_points`` maps x values to the paper's y values; every x present
+    in both sides yields a row with the measured value, the paper value and
+    the relative error (measured/paper - 1).
+    """
+    measured = {
+        row[x_key]: row[y_key] for row in rows if x_key in row and y_key in row
+    }
+    comparison: list[dict[str, Any]] = []
+    for x, paper_value in paper_points.items():
+        if x not in measured:
+            continue
+        value = measured[x]
+        comparison.append(
+            {
+                x_key: x,
+                f"paper_{y_key}": paper_value,
+                f"measured_{y_key}": value,
+                "relative_error": (
+                    value / paper_value - 1.0 if paper_value else float("nan")
+                ),
+            }
+        )
+    return comparison

@@ -1,0 +1,197 @@
+"""``python -m repro`` — the scenario engine's front door.
+
+Three subcommands:
+
+* ``list`` — every registered scenario with its figure, scales and cell counts;
+* ``run``  — run one or more scenarios (all of them by default) at a given
+  scale, fanning the sweep cells out over ``--jobs`` worker processes, and
+  write one JSON artifact per run into the results store;
+* ``report`` — list stored artifacts, or show the latest rows of one scenario.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig7 --jobs 4
+    python -m repro run --scale tiny --out results
+    python -m repro report fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import format_rows
+from repro.scenarios.registry import all_scenarios, get_scenario
+from repro.scenarios.runner import SweepRunner
+from repro.scenarios.store import ResultsStore
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper's figure sweeps and custom scenarios.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the registered scenarios")
+
+    run = commands.add_parser("run", help="run scenarios and store their results")
+    run.add_argument(
+        "scenarios", nargs="*", metavar="scenario",
+        help="scenario names (default: every registered scenario)",
+    )
+    run.add_argument(
+        "--scale", default="paper",
+        help="parameter scale: 'paper' (full size, default) or a named "
+             "preset such as 'tiny'",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sweep (default: cpu count; 1 = "
+             "sequential)",
+    )
+    run.add_argument(
+        "--seed", type=int, action="append", dest="seeds", metavar="S",
+        help="replace the scenario's seed axis (repeatable)",
+    )
+    run.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="results store directory (default: results/)",
+    )
+    run.add_argument(
+        "--no-save", action="store_true", help="do not write JSON artifacts"
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="print summaries only, not the rows"
+    )
+
+    report = commands.add_parser("report", help="inspect stored results")
+    report.add_argument(
+        "scenario", nargs="?", help="show the latest artifact of this scenario"
+    )
+    report.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="results store directory (default: results/)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    rows: list[dict[str, Any]] = []
+    for name, spec in all_scenarios().items():
+        rows.append(
+            {
+                "scenario": name,
+                "figure": spec.figure or "-",
+                "cells": spec.resolve().n_cells,
+                "scales": ",".join(("paper", *spec.scale_names)),
+                "title": spec.title,
+            }
+        )
+    print(format_rows(rows, title="Registered scenarios"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = args.scenarios or list(all_scenarios())
+    store = ResultsStore(args.out)
+    failures = 0
+    for name in names:
+        spec = get_scenario(name)
+        scale = args.scale
+        if scale != "paper" and scale not in spec.scales:
+            # Never silently substitute the full-size campaign for a cheap
+            # preset: skip, so a missing 'tiny' shows up as a skip in CI
+            # output instead of a blown job timeout.
+            print(f"-- {name}: no {scale!r} scale defined, skipping")
+            continue
+        runner = SweepRunner(
+            spec, scale=scale, jobs=args.jobs, seeds=args.seeds, store=store
+        )
+        plan = runner.plan
+        print(
+            f"== {name} [{scale}]: {plan.n_cells} cells, "
+            f"jobs={runner.jobs} ..."
+        )
+        try:
+            result = runner.run(save=not args.no_save)
+        except Exception as error:  # surface and keep sweeping the rest
+            failures += 1
+            print(f"!! {name} failed: {error}", file=sys.stderr)
+            continue
+        mode = f"parallel x{result.jobs}" if result.parallel else "sequential"
+        print(
+            f"   {len(result.rows)} rows from {len(result.cells)} cells "
+            f"in {result.wall_seconds:.2f}s ({mode}), spec {result.spec_hash}"
+        )
+        if not args.quiet:
+            print(format_rows(result.rows, title=f"   {result.title}"))
+        artifact = result.manifest.get("artifact")
+        if artifact:
+            print(f"   artifact: {artifact}")
+    return 1 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.out)
+    if args.scenario:
+        result = store.latest(args.scenario)
+        if result is None:
+            print(f"no stored runs for {args.scenario!r} under {args.out}/")
+            return 1
+        try:
+            current = get_scenario(result.scenario)
+            fresh = current.spec_hash(current.resolve(
+                None if result.scale == "paper" else result.scale
+            ))
+            freshness = (
+                " (matches current spec)" if fresh == result.spec_hash
+                else f" (current spec is {fresh})"
+            )
+        except ConfigurationError:
+            # The scenario or its scale may have been renamed since the
+            # artifact was written; still show the stored rows.
+            freshness = " (scenario/scale no longer registered)"
+        print(
+            f"{result.scenario} [{result.scale}] {result.started_at} "
+            f"spec {result.spec_hash}{freshness}"
+        )
+        print(format_rows(result.rows, title=result.title))
+        return 0
+    runs = store.list_runs()
+    if not runs:
+        print(f"no stored runs under {args.out}/")
+        return 0
+    rows = []
+    for path in runs:
+        result = store.load(path)
+        rows.append(
+            {
+                "scenario": result.scenario,
+                "scale": result.scale,
+                "started": result.started_at,
+                "rows": len(result.rows),
+                "cells": len(result.cells),
+                "wall_s": round(result.wall_seconds, 2),
+                "spec": result.spec_hash,
+                "artifact": os.fspath(path),
+            }
+        )
+    print(format_rows(rows, title=f"Stored runs under {args.out}/"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_report(args)

@@ -135,6 +135,32 @@ class CoordinatorComponent:
         return self.host.address
 
     # ------------------------------------------------------------------ helpers
+    def preload_tasks(
+        self, calls: "list[CallDescription]", state: TaskState = TaskState.PENDING
+    ) -> list[tuple]:
+        """Register task records directly, bypassing the submission protocol.
+
+        Benchmarks and scenario drivers use this to seed a coordinator with
+        pending work (e.g. the Figure 5 replication measurements) without
+        simulating the client submissions.  Each call is recorded exactly as
+        :meth:`_on_submit` would leave it: owned by this coordinator, marked
+        for the next replication round, and charged to the database.  Returns
+        the task keys, in call order.
+        """
+        keys: list[tuple] = []
+        for call in calls:
+            key = identity_to_key(call.identity)
+            self.tasks[key] = TaskRecord(
+                call=call,
+                state=state,
+                owner=self.name,
+                submitted_at=self.env.now,
+            )
+            self._dirty.add(key)
+            self.database.charge_write(key, {"state": state.value}, call.params_bytes)
+            keys.append(key)
+        return keys
+
     def finished_count(self) -> int:
         """Number of tasks this coordinator currently knows as finished."""
         return sum(1 for t in self.tasks.values() if t.state is TaskState.FINISHED)

@@ -1,9 +1,12 @@
 """Experiment drivers: one module per figure of the paper's evaluation.
 
-Every driver exposes a ``run_*`` function returning plain rows (lists of
-dictionaries) that print as the series the paper plots; the benchmark harness
-under ``benchmarks/`` simply calls these with scaled-down parameters, and
-``EXPERIMENTS.md`` records paper-vs-measured values produced with the defaults.
+Every figure is registered as a declarative scenario (see
+:mod:`repro.scenarios`): importing this package populates the registry, which
+is how ``python -m repro list`` finds the figures.  Every driver also keeps a
+``run_*`` wrapper returning plain rows (lists of dictionaries) that print as
+the series the paper plots; the benchmark harness under ``benchmarks/``
+simply calls these with scaled-down parameters, and ``EXPERIMENTS.md``
+records paper-vs-measured values produced with the defaults.
 """
 
 from repro.experiments.fig4_message_logging import run_fig4_vs_calls, run_fig4_vs_size

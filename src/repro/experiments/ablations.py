@@ -6,21 +6,78 @@
   NetSolve-style configuration with server-side fault tolerance only).
 * :func:`run_detector_ablation` — the heart-beat period / suspicion timeout
   trade-off: detection latency versus wrong suspicions on a WAN-like link.
+
+Both are registered as scenarios (``ablation-baselines``,
+``ablation-detector``); the ``run_*`` functions are thin wrappers kept for the
+benchmarks and EXPERIMENTS.md flows.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.baselines import netsolve_style_protocol, no_fault_tolerance_protocol, rpcv_protocol
 from repro.config import FaultDetectionConfig
 from repro.detect import FailureDetector
-from repro.experiments.common import mean
-from repro.grid.runner import run_synthetic_benchmark
+from repro.scenarios.engine import benchmark_cell
+from repro.scenarios.reducers import grouped, mean
+from repro.scenarios.registry import scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import Axis, CellResult, ScenarioSpec
 from repro.sim.rng import RandomStreams
 from repro.types import Address
 
 __all__ = ["run_baseline_ablation", "run_detector_ablation"]
+
+_SYSTEMS = ("rpc-v", "no-replication", "netsolve-style")
+
+
+def _baseline_rows(results: list[CellResult]) -> list[dict[str, Any]]:
+    """One row per system: mean makespan and completion ratio over the seeds."""
+    rows: list[dict[str, Any]] = []
+    for (system,), cells in grouped(results, ("protocol_preset",)).items():
+        params = cells[0].params
+        rows.append(
+            {
+                "system": system,
+                "faults_per_minute": params["faults_per_minute"],
+                "fault_target": params["fault_target"],
+                "mean_makespan_seconds": mean(c.outputs["makespan"] for c in cells),
+                "mean_completion_ratio": mean(
+                    c.outputs["completed"] / max(c.outputs["submitted"], 1)
+                    for c in cells
+                ),
+            }
+        )
+    return rows
+
+
+@scenario("ablation-baselines")
+def _ablation_baselines() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="ablation-baselines",
+        title="RPC-V vs degraded baselines under coordinator faults",
+        cell=benchmark_cell,
+        description=(
+            "The Fig. 7 workload under faults, with the protocol swept over "
+            "the full RPC-V configuration and the two degraded baselines."
+        ),
+        base=dict(
+            n_calls=96,
+            exec_time=10.0,
+            fault_kind="rate",
+            fault_target="coordinators",
+            faults_per_minute=4.0,
+            restart_delay=5.0,
+            horizon=4000.0,
+        ),
+        axes=(Axis("protocol_preset", _SYSTEMS),),
+        seeds=(7, 11),
+        outputs=("makespan", "submitted", "completed"),
+        scales={
+            "tiny": dict(n_calls=24, exec_time=5.0, seeds=(7,), horizon=3000.0),
+        },
+        reduce=_baseline_rows,
+    )
 
 
 def run_baseline_ablation(
@@ -32,38 +89,127 @@ def run_baseline_ablation(
     horizon: float = 4000.0,
 ) -> list[dict[str, Any]]:
     """Fig. 7 workload under faults, RPC-V vs the degraded baselines."""
-    systems = {
-        "rpc-v": rpcv_protocol(),
-        "no-replication": no_fault_tolerance_protocol(),
-        "netsolve-style": netsolve_style_protocol(),
+    return run_scenario(
+        _ablation_baselines,
+        params=dict(
+            faults_per_minute=faults_per_minute,
+            fault_target=fault_target,
+            n_calls=n_calls,
+            exec_time=exec_time,
+            horizon=horizon,
+        ),
+        seeds=seeds,
+        jobs=1,
+    ).rows
+
+
+def detector_cell(
+    heartbeat_period: float,
+    timeout_multiplier: float,
+    message_loss: float = 0.02,
+    latency_sigma: float = 0.8,
+    observation_seconds: float = 3600.0,
+    crash_at: float = 1800.0,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """One (heart-beat period, suspicion timeout) detector replay.
+
+    A single monitored peer emits heart-beats over a lossy, heavy-tailed link
+    and actually crashes at ``crash_at``; the cell replays the arrival trace
+    through a :class:`~repro.detect.FailureDetector` and reports how long the
+    real crash took to be suspected and how many wrong suspicions happened
+    before it.  The trace is drawn from streams keyed by the period, so every
+    multiplier for one period sees the identical trace.
+    """
+    rng = RandomStreams(seed)
+    subject = Address("server", "watched")
+    period = heartbeat_period
+    arrivals: list[float] = []
+    t = 0.0
+    while t < crash_at:
+        t += period
+        if float(rng.stream(f"loss.{period}").random()) < message_loss:
+            continue  # heart-beat lost
+        delay = 0.05 * float(rng.stream(f"lat.{period}").lognormal(0.0, latency_sigma))
+        arrivals.append(t + delay)
+    arrivals.sort()
+
+    timeout = period * timeout_multiplier
+    detector = FailureDetector(
+        FaultDetectionConfig(heartbeat_period=period, suspicion_timeout=timeout)
+    )
+    detector.watch(subject, 0.0)
+    wrong = 0
+    detection_time = None
+    check_times = [i * period / 2 for i in range(int(observation_seconds * 2 / period))]
+    arrival_index = 0
+    for now in check_times:
+        while arrival_index < len(arrivals) and arrivals[arrival_index] <= now:
+            detector.heard_from(subject, arrivals[arrival_index])
+            arrival_index += 1
+        suspected = detector.is_suspected(subject, now)
+        if suspected and now < crash_at:
+            wrong += 1
+        if suspected and now >= crash_at and detection_time is None:
+            detection_time = now - crash_at
+    return {
+        "suspicion_timeout": timeout,
+        "wrong_suspicion_checks": wrong,
+        "detection_latency_seconds": (
+            detection_time if detection_time is not None else float("inf")
+        ),
     }
-    rows: list[dict[str, Any]] = []
-    for name, protocol in systems.items():
-        makespans = []
-        completed = []
-        for seed in seeds:
-            report = run_synthetic_benchmark(
-                n_calls=n_calls,
-                exec_time=exec_time,
-                faults_per_minute=faults_per_minute,
-                fault_target=fault_target,  # type: ignore[arg-type]
-                fault_restart_delay=5.0,
-                protocol=protocol,
-                seed=seed,
-                horizon=horizon,
-            )
-            makespans.append(report.makespan)
-            completed.append(report.completed / max(report.submitted, 1))
-        rows.append(
-            {
-                "system": name,
-                "faults_per_minute": faults_per_minute,
-                "fault_target": fault_target,
-                "mean_makespan_seconds": mean(makespans),
-                "mean_completion_ratio": mean(completed),
-            }
-        )
-    return rows
+
+
+def _detector_rows(results: list[CellResult]) -> list[dict[str, Any]]:
+    """One row per (period, multiplier) cell, in sweep order."""
+    return [
+        {
+            "heartbeat_period": result.params["heartbeat_period"],
+            "suspicion_timeout": result.outputs["suspicion_timeout"],
+            "wrong_suspicion_checks": result.outputs["wrong_suspicion_checks"],
+            "detection_latency_seconds": result.outputs["detection_latency_seconds"],
+        }
+        for result in results
+    ]
+
+
+@scenario("ablation-detector")
+def _ablation_detector() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="ablation-detector",
+        title="Heart-beat period / suspicion timeout trade-off",
+        cell=detector_cell,
+        description=(
+            "Detection latency versus wrong suspicions when replaying one "
+            "lossy heavy-tailed heart-beat trace per period."
+        ),
+        base=dict(
+            message_loss=0.02,
+            latency_sigma=0.8,
+            observation_seconds=3600.0,
+            crash_at=1800.0,
+        ),
+        axes=(
+            Axis("heartbeat_period", (1.0, 5.0, 15.0)),
+            Axis("timeout_multiplier", (2.0, 6.0, 12.0)),
+        ),
+        seeds=(0,),
+        outputs=(
+            "suspicion_timeout",
+            "wrong_suspicion_checks",
+            "detection_latency_seconds",
+        ),
+        scales={
+            "tiny": dict(
+                heartbeat_period=(1.0, 15.0),
+                timeout_multiplier=(2.0, 12.0),
+                observation_seconds=1200.0,
+                crash_at=600.0,
+            ),
+        },
+        reduce=_detector_rows,
+    )
 
 
 def run_detector_ablation(
@@ -75,55 +221,19 @@ def run_detector_ablation(
     crash_at: float = 1800.0,
     seed: int = 0,
 ) -> list[dict[str, Any]]:
-    """Heart-beat tuning: detection latency vs wrong suspicions.
-
-    A single monitored peer emits heart-beats over a lossy, heavy-tailed link
-    and actually crashes at ``crash_at``.  For every (period, timeout) pair the
-    driver replays the same arrival trace through a
-    :class:`~repro.detect.FailureDetector` and reports how long the real crash
-    took to be suspected and how many wrong suspicions happened before it.
-    """
-    rng = RandomStreams(seed)
-    subject = Address("server", "watched")
-    rows: list[dict[str, Any]] = []
-    for period in heartbeat_periods:
-        # Generate the heart-beat arrival trace once per period.
-        arrivals: list[float] = []
-        t = 0.0
-        while t < crash_at:
-            t += period
-            if float(rng.stream(f"loss.{period}").random()) < message_loss:
-                continue  # heart-beat lost
-            delay = 0.05 * float(rng.stream(f"lat.{period}").lognormal(0.0, latency_sigma))
-            arrivals.append(t + delay)
-        arrivals.sort()
-        for multiplier in timeout_multipliers:
-            timeout = period * multiplier
-            detector = FailureDetector(
-                FaultDetectionConfig(heartbeat_period=period, suspicion_timeout=timeout)
-            )
-            detector.watch(subject, 0.0)
-            wrong = 0
-            detection_time = None
-            check_times = [i * period / 2 for i in range(int(observation_seconds * 2 / period))]
-            arrival_index = 0
-            for now in check_times:
-                while arrival_index < len(arrivals) and arrivals[arrival_index] <= now:
-                    detector.heard_from(subject, arrivals[arrival_index])
-                    arrival_index += 1
-                suspected = detector.is_suspected(subject, now)
-                if suspected and now < crash_at:
-                    wrong += 1
-                if suspected and now >= crash_at and detection_time is None:
-                    detection_time = now - crash_at
-            rows.append(
-                {
-                    "heartbeat_period": period,
-                    "suspicion_timeout": timeout,
-                    "wrong_suspicion_checks": wrong,
-                    "detection_latency_seconds": (
-                        detection_time if detection_time is not None else float("inf")
-                    ),
-                }
-            )
-    return rows
+    """Heart-beat tuning: detection latency vs wrong suspicions."""
+    return run_scenario(
+        _ablation_detector,
+        axes={
+            "heartbeat_period": heartbeat_periods,
+            "timeout_multiplier": timeout_multipliers,
+        },
+        params=dict(
+            message_loss=message_loss,
+            latency_sigma=latency_sigma,
+            observation_seconds=observation_seconds,
+            crash_at=crash_at,
+        ),
+        seeds=(seed,),
+        jobs=1,
+    ).rows

@@ -20,14 +20,17 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.experiments.fig9_reference import run_alcatel_campaign
+from repro.experiments.fig9_reference import completion_curve_rows, run_alcatel_campaign
 from repro.grid.builder import Grid
+from repro.scenarios.registry import scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
 from repro.workloads.alcatel import AlcatelWorkload
 
 __all__ = ["run_fig10"]
 
 
-def run_fig10(
+def coordinator_faults_cell(
     n_tasks: int = 300,
     servers_per_site: dict[str, int] | None = None,
     kill_lille_fraction: float = 0.4,
@@ -85,3 +88,56 @@ def run_fig10(
         result["finished_in_time"] and result["completed"] >= result["submitted"]
     )
     return result
+
+
+@scenario("fig10")
+def _fig10() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig10",
+        title="Alcatel campaign surviving two consecutive coordinator faults",
+        figure="10",
+        cell=coordinator_faults_cell,
+        base=dict(
+            n_tasks=300,
+            servers_per_site=None,
+            kill_lille_fraction=0.4,
+            kill_orsay_fraction=0.75,
+            lille_restart_delay=180.0,
+        ),
+        seeds=(0,),
+        outputs=("makespan", "completed", "events", "tolerated_two_coordinator_faults"),
+        scales={
+            "tiny": dict(
+                n_tasks=120,
+                servers_per_site={"lille": 8, "wisconsin": 8, "orsay": 8},
+                seeds=(3,),
+            ),
+        },
+        reduce=completion_curve_rows,
+    )
+
+
+def run_fig10(
+    n_tasks: int = 300,
+    servers_per_site: dict[str, int] | None = None,
+    kill_lille_fraction: float = 0.4,
+    kill_orsay_fraction: float = 0.75,
+    lille_restart_delay: float = 180.0,
+    seed: int = 0,
+    **kwargs: Any,
+) -> dict[str, Any]:
+    """Run the two-consecutive-coordinator-faults scenario."""
+    result = run_scenario(
+        _fig10,
+        params=dict(
+            n_tasks=n_tasks,
+            servers_per_site=servers_per_site,
+            kill_lille_fraction=kill_lille_fraction,
+            kill_orsay_fraction=kill_orsay_fraction,
+            lille_restart_delay=lille_restart_delay,
+            **kwargs,
+        ),
+        seeds=(seed,),
+        jobs=1,
+    )
+    return dict(result.cells[0]["outputs"])

@@ -18,14 +18,17 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.experiments.fig9_reference import run_alcatel_campaign
+from repro.experiments.fig9_reference import completion_curve_rows, run_alcatel_campaign
 from repro.grid.builder import Grid
+from repro.scenarios.registry import scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
 from repro.types import Address, ComponentKind
 
 __all__ = ["run_fig11"]
 
 
-def run_fig11(
+def partition_cell(
     n_tasks: int = 300,
     servers_per_site: dict[str, int] | None = None,
     seed: int = 0,
@@ -65,3 +68,45 @@ def run_fig11(
         result["finished_in_time"] and result["completed"] >= result["submitted"]
     )
     return result
+
+
+@scenario("fig11")
+def _fig11() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig11",
+        title="Alcatel campaign under mutually inconsistent (partitioned) views",
+        figure="11",
+        cell=partition_cell,
+        base=dict(n_tasks=300, servers_per_site=None),
+        seeds=(0,),
+        outputs=(
+            "makespan",
+            "completed",
+            "progress_condition_held",
+            "completed_under_partition",
+        ),
+        scales={
+            "tiny": dict(
+                n_tasks=120,
+                servers_per_site={"lille": 8, "wisconsin": 8, "orsay": 8},
+                seeds=(3,),
+            ),
+        },
+        reduce=completion_curve_rows,
+    )
+
+
+def run_fig11(
+    n_tasks: int = 300,
+    servers_per_site: dict[str, int] | None = None,
+    seed: int = 0,
+    **kwargs: Any,
+) -> dict[str, Any]:
+    """Run the partitioned-views scenario and compare against the reference."""
+    result = run_scenario(
+        _fig11,
+        params=dict(n_tasks=n_tasks, servers_per_site=servers_per_site, **kwargs),
+        seeds=(seed,),
+        jobs=1,
+    )
+    return dict(result.cells[0]["outputs"])

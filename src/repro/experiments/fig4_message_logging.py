@@ -11,6 +11,10 @@ Expected shape: blocking pessimistic ≈ +30 % over optimistic for large
 parameters (disk bandwidth vs network bandwidth), up to ~2× for many small
 calls (disk latency ≈ communication time); non-blocking pessimistic close to
 optimistic with a small, variable overhead.
+
+Both panels are registered as scenarios (``fig4-size``, ``fig4-calls``); the
+``run_*`` functions are thin wrappers kept for the benchmarks and
+EXPERIMENTS.md flows.
 """
 
 from __future__ import annotations
@@ -19,6 +23,10 @@ from typing import Any
 
 from repro.config import ProtocolConfig
 from repro.grid.builder import build_confined_cluster
+from repro.scenarios.reducers import grouped
+from repro.scenarios.registry import scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import Axis, CellResult, ScenarioSpec
 from repro.types import LoggingStrategy
 from repro.workloads.sweep import geometric_counts, geometric_sizes
 from repro.workloads.synthetic import SyntheticWorkload
@@ -30,6 +38,8 @@ STRATEGIES: tuple[LoggingStrategy, ...] = (
     LoggingStrategy.PESSIMISTIC_NON_BLOCKING,
     LoggingStrategy.PESSIMISTIC_BLOCKING,
 )
+
+_STRATEGY_VALUES = tuple(strategy.value for strategy in STRATEGIES)
 
 
 def _measure_submission(
@@ -64,45 +74,100 @@ def _measure_submission(
     return workload.submission_time
 
 
+def logging_cell(
+    strategy: str, n_calls: int, params_bytes: int, seed: int = 0
+) -> dict[str, Any]:
+    """Scenario cell: one (strategy, size/count) submission measurement."""
+    seconds = _measure_submission(
+        LoggingStrategy(strategy), n_calls=n_calls, params_bytes=params_bytes,
+        seed=seed,
+    )
+    return {"submission_seconds": seconds}
+
+
+def _pivot_strategies(group_key: str, fixed_key: str):
+    """Rows keyed by ``group_key``, one column per strategy, plus the ratio."""
+
+    def reduce(results: list[CellResult]) -> list[dict[str, Any]]:
+        rows: list[dict[str, Any]] = []
+        for (value,), cells in grouped(results, (group_key,)).items():
+            row: dict[str, Any] = {
+                group_key: value,
+                fixed_key: cells[0].params[fixed_key],
+            }
+            for cell in cells:
+                row[cell.params["strategy"]] = cell.outputs["submission_seconds"]
+            optimistic = row[LoggingStrategy.OPTIMISTIC.value]
+            row["blocking_over_optimistic"] = (
+                row[LoggingStrategy.PESSIMISTIC_BLOCKING.value] / optimistic
+                if optimistic > 0
+                else float("nan")
+            )
+            rows.append(row)
+        return rows
+
+    return reduce
+
+
+@scenario("fig4-size")
+def _fig4_size() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig4-size",
+        title="RPC submission time vs parameter size, per logging strategy",
+        figure="4 (left)",
+        cell=logging_cell,
+        base=dict(n_calls=16),
+        axes=(
+            Axis("params_bytes", tuple(geometric_sizes())),
+            Axis("strategy", _STRATEGY_VALUES),
+        ),
+        seeds=(0,),
+        outputs=("submission_seconds",),
+        scales={"tiny": {"params_bytes": (1_000, 1_000_000), "n_calls": 4}},
+        reduce=_pivot_strategies("params_bytes", "n_calls"),
+    )
+
+
+@scenario("fig4-calls")
+def _fig4_calls() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig4-calls",
+        title="RPC submission time vs number of calls, per logging strategy",
+        figure="4 (right)",
+        cell=logging_cell,
+        base=dict(params_bytes=300),
+        axes=(
+            Axis("n_calls", tuple(geometric_counts())),
+            Axis("strategy", _STRATEGY_VALUES),
+        ),
+        seeds=(0,),
+        outputs=("submission_seconds",),
+        scales={"tiny": {"n_calls": (1, 16)}},
+        reduce=_pivot_strategies("n_calls", "params_bytes"),
+    )
+
+
 def run_fig4_vs_size(
     sizes: list[int] | None = None, n_calls: int = 16, seed: int = 0
 ) -> list[dict[str, Any]]:
     """Left panel of Figure 4: submission time vs parameter size."""
-    sizes = sizes or geometric_sizes()
-    rows: list[dict[str, Any]] = []
-    for size in sizes:
-        row: dict[str, Any] = {"params_bytes": size, "n_calls": n_calls}
-        for strategy in STRATEGIES:
-            row[strategy.value] = _measure_submission(
-                strategy, n_calls=n_calls, params_bytes=size, seed=seed
-            )
-        row["blocking_over_optimistic"] = (
-            row[LoggingStrategy.PESSIMISTIC_BLOCKING.value]
-            / row[LoggingStrategy.OPTIMISTIC.value]
-            if row[LoggingStrategy.OPTIMISTIC.value] > 0
-            else float("nan")
-        )
-        rows.append(row)
-    return rows
+    return run_scenario(
+        _fig4_size,
+        axes={"params_bytes": sizes} if sizes is not None else None,
+        params={"n_calls": n_calls},
+        seeds=(seed,),
+        jobs=1,
+    ).rows
 
 
 def run_fig4_vs_calls(
     counts: list[int] | None = None, params_bytes: int = 300, seed: int = 0
 ) -> list[dict[str, Any]]:
     """Right panel of Figure 4: submission time vs number of calls."""
-    counts = counts or geometric_counts()
-    rows: list[dict[str, Any]] = []
-    for count in counts:
-        row: dict[str, Any] = {"n_calls": count, "params_bytes": params_bytes}
-        for strategy in STRATEGIES:
-            row[strategy.value] = _measure_submission(
-                strategy, n_calls=count, params_bytes=params_bytes, seed=seed
-            )
-        row["blocking_over_optimistic"] = (
-            row[LoggingStrategy.PESSIMISTIC_BLOCKING.value]
-            / row[LoggingStrategy.OPTIMISTIC.value]
-            if row[LoggingStrategy.OPTIMISTIC.value] > 0
-            else float("nan")
-        )
-        rows.append(row)
-    return rows
+    return run_scenario(
+        _fig4_calls,
+        axes={"n_calls": counts} if counts is not None else None,
+        params={"params_bytes": params_bytes},
+        seeds=(seed,),
+        jobs=1,
+    ).rows

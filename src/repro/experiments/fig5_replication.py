@@ -12,23 +12,29 @@ pays one row write per description), linear growth once the data size exceeds
 ~1 MB; linear growth with the number of descriptions; the Internet's reduced
 bandwidth separates the curves at large sizes while its faster database
 machines make the many-small-records case cheaper than the cluster's.
+
+Both panels are registered as scenarios (``fig5-size``, ``fig5-count``); the
+``run_*`` functions are thin wrappers kept for the benchmarks and
+EXPERIMENTS.md flows.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Any
 
 from repro.config import ProtocolConfig
-from repro.core.protocol import CallDescription, TaskRecord
-from repro.core.protocol import identity_to_key
+from repro.core.protocol import CallDescription
 from repro.grid.builder import Grid, build_confined_cluster, build_internet_testbed
-from repro.types import CallIdentity, RPCId, SessionId, TaskState, UserId
+from repro.scenarios.reducers import grouped
+from repro.scenarios.registry import scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import Axis, CellResult, ScenarioSpec
+from repro.types import CallIdentity, RPCId, SessionId, UserId
 from repro.workloads.sweep import geometric_counts, geometric_sizes
 
 __all__ = ["run_fig5_vs_size", "run_fig5_vs_count", "measure_replication_time"]
 
-_SEQ = itertools.count(1)
+_ENVIRONMENTS = ("confined", "internet")
 
 
 def _build(environment: str, seed: int = 0) -> Grid:
@@ -58,29 +64,27 @@ def _build(environment: str, seed: int = 0) -> Grid:
 
 
 def _inject_tasks(grid: Grid, n_tasks: int, params_bytes: int) -> None:
-    """Register ``n_tasks`` pending tasks directly on the first coordinator."""
-    coordinator = grid.coordinators[0]
-    for index in range(n_tasks):
-        identity = CallIdentity(
-            user=UserId("bench"),
-            session=SessionId(f"fig5-{next(_SEQ)}"),
-            rpc=RPCId(index + 1),
-        )
-        call = CallDescription(
-            identity=identity,
+    """Register ``n_tasks`` pending tasks directly on the first coordinator.
+
+    Identities are numbered per run (one synthetic session, RPC ids 1..N), so
+    a measurement does not depend on how many runs happened earlier in the
+    process.
+    """
+    calls = [
+        CallDescription(
+            identity=CallIdentity(
+                user=UserId("bench"),
+                session=SessionId("fig5"),
+                rpc=RPCId(index + 1),
+            ),
             service="sleep",
             params_bytes=params_bytes,
             result_bytes=64,
             exec_time=1.0,
         )
-        key = identity_to_key(identity)
-        record = TaskRecord(
-            call=call, state=TaskState.PENDING, owner=coordinator.name,
-            submitted_at=grid.env.now,
-        )
-        coordinator.tasks[key] = record
-        coordinator._dirty.add(key)
-        coordinator.database.charge_write(key, {"state": "pending"}, params_bytes)
+        for index in range(n_tasks)
+    ]
+    grid.coordinators[0].preload_tasks(calls)
 
 
 def measure_replication_time(
@@ -106,39 +110,98 @@ def measure_replication_time(
     return timings["end"] - timings["start"]
 
 
+def replication_cell(
+    environment: str, n_tasks: int, params_bytes: int, seed: int = 0
+) -> dict[str, Any]:
+    """Scenario cell: one replication-round measurement."""
+    seconds = measure_replication_time(
+        environment, n_tasks=n_tasks, params_bytes=params_bytes, seed=seed
+    )
+    return {"replication_seconds": seconds}
+
+
+def _pivot_environments(group_key: str, fixed_key: str):
+    """Rows keyed by ``group_key`` with one column per environment."""
+
+    def reduce(results: list[CellResult]) -> list[dict[str, Any]]:
+        rows: list[dict[str, Any]] = []
+        for (value,), cells in grouped(results, (group_key,)).items():
+            row: dict[str, Any] = {
+                group_key: value,
+                fixed_key: cells[0].params[fixed_key],
+            }
+            for cell in cells:
+                row[cell.params["environment"]] = cell.outputs["replication_seconds"]
+            rows.append(row)
+        return rows
+
+    return reduce
+
+
+@scenario("fig5-size")
+def _fig5_size() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig5-size",
+        title="Coordinator replication time vs RPC data size",
+        figure="5 (left)",
+        cell=replication_cell,
+        base=dict(n_tasks=16),
+        axes=(
+            Axis("params_bytes", tuple(geometric_sizes())),
+            Axis("environment", _ENVIRONMENTS),
+        ),
+        seeds=(0,),
+        outputs=("replication_seconds",),
+        scales={"tiny": {"params_bytes": (1_000, 1_000_000), "n_tasks": 8}},
+        reduce=_pivot_environments("params_bytes", "n_tasks"),
+    )
+
+
+@scenario("fig5-count")
+def _fig5_count() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig5-count",
+        title="Coordinator replication time vs number of task descriptions",
+        figure="5 (right)",
+        cell=replication_cell,
+        base=dict(params_bytes=300),
+        axes=(
+            Axis("n_tasks", tuple(geometric_counts())),
+            Axis("environment", _ENVIRONMENTS),
+        ),
+        seeds=(0,),
+        outputs=("replication_seconds",),
+        scales={"tiny": {"n_tasks": (1, 32)}},
+        reduce=_pivot_environments("n_tasks", "params_bytes"),
+    )
+
+
 def run_fig5_vs_size(
     sizes: list[int] | None = None,
     n_tasks: int = 16,
-    environments: tuple[str, ...] = ("confined", "internet"),
+    environments: tuple[str, ...] = _ENVIRONMENTS,
     seed: int = 0,
 ) -> list[dict[str, Any]]:
     """Left panel of Figure 5: replication time vs RPC data size."""
-    sizes = sizes or geometric_sizes()
-    rows: list[dict[str, Any]] = []
-    for size in sizes:
-        row: dict[str, Any] = {"params_bytes": size, "n_tasks": n_tasks}
-        for environment in environments:
-            row[environment] = measure_replication_time(
-                environment, n_tasks=n_tasks, params_bytes=size, seed=seed
-            )
-        rows.append(row)
-    return rows
+    axes: dict[str, Any] = {"environment": environments}
+    if sizes is not None:
+        axes["params_bytes"] = sizes
+    return run_scenario(
+        _fig5_size, axes=axes, params={"n_tasks": n_tasks}, seeds=(seed,), jobs=1
+    ).rows
 
 
 def run_fig5_vs_count(
     counts: list[int] | None = None,
     params_bytes: int = 300,
-    environments: tuple[str, ...] = ("confined", "internet"),
+    environments: tuple[str, ...] = _ENVIRONMENTS,
     seed: int = 0,
 ) -> list[dict[str, Any]]:
     """Right panel of Figure 5: replication time vs number of task descriptions."""
-    counts = counts or geometric_counts()
-    rows: list[dict[str, Any]] = []
-    for count in counts:
-        row: dict[str, Any] = {"n_tasks": count, "params_bytes": params_bytes}
-        for environment in environments:
-            row[environment] = measure_replication_time(
-                environment, n_tasks=count, params_bytes=params_bytes, seed=seed
-            )
-        rows.append(row)
-    return rows
+    axes: dict[str, Any] = {"environment": environments}
+    if counts is not None:
+        axes["n_tasks"] = counts
+    return run_scenario(
+        _fig5_count, axes=axes, params={"params_bytes": params_bytes}, seeds=(seed,),
+        jobs=1,
+    ).rows

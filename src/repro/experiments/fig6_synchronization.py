@@ -14,6 +14,10 @@ Expected shape: rebuilding from the client's logs is several times faster at
 small sizes/counts (one local disk access versus an extra request/reply on
 the loaded coordinator); the gap narrows as the data volume grows and the
 transfer time dominates both directions.
+
+Both panels are registered as scenarios (``fig6-size``, ``fig6-calls``); the
+``run_*`` functions are thin wrappers kept for the benchmarks and
+EXPERIMENTS.md flows.
 """
 
 from __future__ import annotations
@@ -24,10 +28,16 @@ from repro.config import ProtocolConfig
 from repro.core.protocol import CallDescription
 from repro.grid.builder import Grid, build_confined_cluster
 from repro.net.message import Message, MessageType
+from repro.scenarios.reducers import grouped
+from repro.scenarios.registry import scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import Axis, CellResult, ScenarioSpec
 from repro.workloads.sweep import geometric_counts, geometric_sizes
 from repro.workloads.synthetic import SyntheticWorkload
 
 __all__ = ["run_fig6_vs_size", "run_fig6_vs_calls", "measure_sync_time"]
+
+_DIRECTIONS = ("client-logs", "coordinator-logs")
 
 
 def _build(seed: int = 0, quiet: bool = True) -> Grid:
@@ -173,49 +183,101 @@ def measure_sync_time(
     return timings.get("end", float("nan")) - timings.get("start", 0.0)
 
 
+def sync_cell(
+    direction: str, n_calls: int, params_bytes: int, seed: int = 0
+) -> dict[str, Any]:
+    """Scenario cell: one timed synchronization in one direction."""
+    seconds = measure_sync_time(direction, n_calls, params_bytes, seed=seed)
+    return {"sync_seconds": seconds}
+
+
+def _pivot_directions(group_key: str, fixed_key: str):
+    """Rows keyed by ``group_key`` with one column per sync direction."""
+
+    def reduce(results: list[CellResult]) -> list[dict[str, Any]]:
+        rows: list[dict[str, Any]] = []
+        for (value,), cells in grouped(results, (group_key,)).items():
+            by_direction = {
+                cell.params["direction"]: cell.outputs["sync_seconds"]
+                for cell in cells
+            }
+            client_logs = by_direction.get("client-logs", float("nan"))
+            coord_logs = by_direction.get("coordinator-logs", float("nan"))
+            rows.append(
+                {
+                    group_key: value,
+                    fixed_key: cells[0].params[fixed_key],
+                    "client_logs": client_logs,
+                    "coordinator_logs": coord_logs,
+                    "coordinator_over_client": (
+                        coord_logs / client_logs if client_logs > 0 else float("nan")
+                    ),
+                }
+            )
+        return rows
+
+    return reduce
+
+
+@scenario("fig6-size")
+def _fig6_size() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig6-size",
+        title="Client/coordinator synchronization time vs data size",
+        figure="6 (left)",
+        cell=sync_cell,
+        base=dict(n_calls=16),
+        axes=(
+            Axis("params_bytes", tuple(geometric_sizes())),
+            Axis("direction", _DIRECTIONS),
+        ),
+        seeds=(0,),
+        outputs=("sync_seconds",),
+        scales={"tiny": {"params_bytes": (1_000, 1_000_000), "n_calls": 8}},
+        reduce=_pivot_directions("params_bytes", "n_calls"),
+    )
+
+
+@scenario("fig6-calls")
+def _fig6_calls() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig6-calls",
+        title="Client/coordinator synchronization time vs number of calls",
+        figure="6 (right)",
+        cell=sync_cell,
+        base=dict(params_bytes=300),
+        axes=(
+            Axis("n_calls", tuple(geometric_counts())),
+            Axis("direction", _DIRECTIONS),
+        ),
+        seeds=(0,),
+        outputs=("sync_seconds",),
+        scales={"tiny": {"n_calls": (8, 64)}},
+        reduce=_pivot_directions("n_calls", "params_bytes"),
+    )
+
+
 def run_fig6_vs_size(
     sizes: list[int] | None = None, n_calls: int = 16, seed: int = 0
 ) -> list[dict[str, Any]]:
     """Left panel of Figure 6: synchronization time vs data size."""
-    sizes = sizes or geometric_sizes()
-    rows: list[dict[str, Any]] = []
-    for size in sizes:
-        client_logs = measure_sync_time("client-logs", n_calls, size, seed=seed)
-        coord_logs = measure_sync_time("coordinator-logs", n_calls, size, seed=seed)
-        rows.append(
-            {
-                "params_bytes": size,
-                "n_calls": n_calls,
-                "client_logs": client_logs,
-                "coordinator_logs": coord_logs,
-                "coordinator_over_client": (
-                    coord_logs / client_logs if client_logs > 0 else float("nan")
-                ),
-            }
-        )
-    return rows
+    return run_scenario(
+        _fig6_size,
+        axes={"params_bytes": sizes} if sizes is not None else None,
+        params={"n_calls": n_calls},
+        seeds=(seed,),
+        jobs=1,
+    ).rows
 
 
 def run_fig6_vs_calls(
     counts: list[int] | None = None, params_bytes: int = 300, seed: int = 0
 ) -> list[dict[str, Any]]:
     """Right panel of Figure 6: synchronization time vs number of calls."""
-    counts = counts or geometric_counts()
-    rows: list[dict[str, Any]] = []
-    for count in counts:
-        client_logs = measure_sync_time("client-logs", count, params_bytes, seed=seed)
-        coord_logs = measure_sync_time(
-            "coordinator-logs", count, params_bytes, seed=seed
-        )
-        rows.append(
-            {
-                "n_calls": count,
-                "params_bytes": params_bytes,
-                "client_logs": client_logs,
-                "coordinator_logs": coord_logs,
-                "coordinator_over_client": (
-                    coord_logs / client_logs if client_logs > 0 else float("nan")
-                ),
-            }
-        )
-    return rows
+    return run_scenario(
+        _fig6_calls,
+        axes={"n_calls": counts} if counts is not None else None,
+        params={"params_bytes": params_bytes},
+        seeds=(seed,),
+        jobs=1,
+    ).rows

@@ -11,17 +11,87 @@ Expected shape: both curves grow with the fault frequency and the server
 curve sits above the coordinator curve (a lost execution costs more than a
 middle-tier resynchronisation, and real platforms have many more computing
 nodes than infrastructure nodes).
+
+The sweep is registered as the ``fig7`` scenario — (frequency × target × seed)
+cells over the shared :func:`~repro.scenarios.engine.benchmark_cell` kernel —
+so ``python -m repro run fig7 --jobs N`` fans the whole figure out over a
+process pool.  :func:`run_fig7` stays as a thin sequential wrapper.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.experiments.common import mean
-from repro.grid.runner import run_synthetic_benchmark
+from repro.scenarios.engine import benchmark_cell
+from repro.scenarios.reducers import grouped, mean
+from repro.scenarios.registry import scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import Axis, CellResult, ScenarioSpec
 from repro.workloads.sweep import fault_frequencies
 
 __all__ = ["run_fig7"]
+
+_TARGETS = ("servers", "coordinators")
+
+
+def _fig7_rows(results: list[CellResult]) -> list[dict[str, Any]]:
+    """One row per fault frequency, both target curves pivoted into columns."""
+    rows: list[dict[str, Any]] = []
+    for (frequency,), cells in grouped(results, ("faults_per_minute",)).items():
+        params = cells[0].params
+        row: dict[str, Any] = {
+            "faults_per_minute": frequency,
+            "ideal_seconds": params["exec_time"] * params["n_calls"] / params["n_servers"],
+        }
+        for target in _TARGETS:
+            of_target = [c for c in cells if c.params["fault_target"] == target]
+            row[f"faulty_{target}_seconds"] = mean(
+                c.outputs["makespan"] for c in of_target
+            )
+            row[f"faulty_{target}_completed"] = all(
+                c.outputs["completed"] >= c.outputs["submitted"] for c in of_target
+            )
+            row[f"faulty_{target}_faults"] = sum(
+                c.outputs["faults_injected"] for c in of_target
+            )
+        rows.append(row)
+    return rows
+
+
+@scenario("fig7")
+def _fig7() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig7",
+        title="Benchmark execution time vs fault frequency",
+        figure="7",
+        cell=benchmark_cell,
+        base=dict(
+            n_calls=96,
+            exec_time=10.0,
+            n_servers=16,
+            n_coordinators=4,
+            fault_kind="rate",
+            restart_delay=5.0,
+            horizon=6000.0,
+        ),
+        axes=(
+            Axis("faults_per_minute", tuple(fault_frequencies())),
+            Axis("fault_target", _TARGETS),
+        ),
+        seeds=(7, 11, 23),
+        outputs=("makespan", "submitted", "completed", "faults_injected"),
+        scales={
+            "tiny": dict(
+                faults_per_minute=(0.0, 4.0, 10.0),
+                n_calls=24,
+                exec_time=5.0,
+                n_servers=8,
+                seeds=(7, 11),
+                horizon=3000.0,
+            ),
+        },
+        reduce=_fig7_rows,
+    )
 
 
 def run_fig7(
@@ -33,34 +103,20 @@ def run_fig7(
     n_coordinators: int = 4,
     restart_delay: float = 5.0,
     horizon: float = 6000.0,
+    jobs: int = 1,
 ) -> list[dict[str, Any]]:
     """Benchmark execution time vs fault frequency, for both fault targets."""
-    frequencies = frequencies if frequencies is not None else fault_frequencies()
-    rows: list[dict[str, Any]] = []
-    ideal = exec_time * n_calls / n_servers
-    for frequency in frequencies:
-        row: dict[str, Any] = {"faults_per_minute": frequency, "ideal_seconds": ideal}
-        for target in ("servers", "coordinators"):
-            makespans = []
-            completed_all = True
-            faults = 0
-            for seed in seeds:
-                report = run_synthetic_benchmark(
-                    n_calls=n_calls,
-                    exec_time=exec_time,
-                    n_servers=n_servers,
-                    n_coordinators=n_coordinators,
-                    faults_per_minute=frequency,
-                    fault_target=target if frequency > 0 else "none",
-                    fault_restart_delay=restart_delay,
-                    seed=seed,
-                    horizon=horizon,
-                )
-                makespans.append(report.makespan)
-                faults += report.faults_injected
-                completed_all = completed_all and report.all_completed
-            row[f"faulty_{target}_seconds"] = mean(makespans)
-            row[f"faulty_{target}_completed"] = completed_all
-            row[f"faulty_{target}_faults"] = faults
-        rows.append(row)
-    return rows
+    return run_scenario(
+        _fig7,
+        axes={"faults_per_minute": frequencies} if frequencies is not None else None,
+        params=dict(
+            n_calls=n_calls,
+            exec_time=exec_time,
+            n_servers=n_servers,
+            n_coordinators=n_coordinators,
+            restart_delay=restart_delay,
+            horizon=horizon,
+        ),
+        seeds=seeds,
+        jobs=jobs,
+    ).rows

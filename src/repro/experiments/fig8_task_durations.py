@@ -6,21 +6,25 @@ distribution.  Our stand-in workload draws the durations from a log-normal
 body with a small heavy tail (see :class:`repro.workloads.alcatel.AlcatelWorkload`
 and the substitution note in DESIGN.md); this experiment reports the histogram
 and the summary statistics of that distribution.
+
+Registered as the single-cell ``fig8`` scenario (rows = histogram bins);
+:func:`run_fig8` keeps the historical dict shape.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.scenarios.registry import scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import CellResult, ScenarioSpec
 from repro.workloads.alcatel import AlcatelWorkload
 
 __all__ = ["run_fig8"]
 
 
-def run_fig8(
-    n_tasks: int = 1000, bins: int = 20, seed: int = 42
-) -> dict[str, Any]:
-    """Histogram + summary statistics of the task-duration distribution."""
+def durations_cell(n_tasks: int, bins: int, seed: int = 42) -> dict[str, Any]:
+    """Scenario cell: histogram + summary statistics of the duration draw."""
     workload = AlcatelWorkload(n_tasks=n_tasks, seed=seed)
     counts, edges = workload.duration_histogram(bins=bins)
     histogram_rows = [
@@ -31,5 +35,35 @@ def run_fig8(
         }
         for i in range(len(counts))
     ]
-    stats = workload.duration_stats()
-    return {"histogram": histogram_rows, "stats": stats}
+    return {"histogram": histogram_rows, "stats": workload.duration_stats()}
+
+
+def _histogram_rows(results: list[CellResult]) -> list[dict[str, Any]]:
+    """Flatten the single cell's histogram into the figure's rows."""
+    return [dict(row) for result in results for row in result.outputs["histogram"]]
+
+
+@scenario("fig8")
+def _fig8() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig8",
+        title="Distribution of the Alcatel task durations",
+        figure="8",
+        cell=durations_cell,
+        base=dict(n_tasks=1000, bins=20),
+        seeds=(42,),
+        outputs=("histogram", "stats"),
+        scales={"tiny": dict(n_tasks=200, bins=10)},
+        reduce=_histogram_rows,
+    )
+
+
+def run_fig8(
+    n_tasks: int = 1000, bins: int = 20, seed: int = 42
+) -> dict[str, Any]:
+    """Histogram + summary statistics of the task-duration distribution."""
+    result = run_scenario(
+        _fig8, params=dict(n_tasks=n_tasks, bins=bins), seeds=(seed,), jobs=1
+    )
+    outputs = result.cells[0]["outputs"]
+    return {"histogram": outputs["histogram"], "stats": outputs["stats"]}

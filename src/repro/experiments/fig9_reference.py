@@ -20,6 +20,9 @@ import numpy as np
 
 from repro.config import ProtocolConfig
 from repro.grid.builder import Grid, build_internet_testbed
+from repro.scenarios.registry import scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import CellResult, ScenarioSpec
 from repro.workloads.alcatel import AlcatelWorkload
 
 __all__ = ["run_alcatel_campaign", "run_fig9"]
@@ -96,15 +99,24 @@ def run_alcatel_campaign(
     }
 
 
-def run_fig9(
+def reference_cell(
     n_tasks: int = 300,
     servers_per_site: dict[str, int] | None = None,
+    median_duration: float = 110.0,
+    replication_period: float = 60.0,
     seed: int = 0,
-    **kwargs: Any,
+    horizon: float = 30_000.0,
+    sample_period: float = 60.0,
 ) -> dict[str, Any]:
-    """The reference (fault-free) execution of Figure 9."""
+    """Scenario cell: one fault-free campaign plus the replica-lag metrics."""
     result = run_alcatel_campaign(
-        n_tasks=n_tasks, servers_per_site=servers_per_site, seed=seed, **kwargs
+        n_tasks=n_tasks,
+        servers_per_site=servers_per_site,
+        median_duration=median_duration,
+        replication_period=replication_period,
+        seed=seed,
+        horizon=horizon,
+        sample_period=sample_period,
     )
     # Plateaux metric: how far the replica's curve lags behind the primary's.
     lille = np.asarray(result["lille_completed"])
@@ -113,3 +125,67 @@ def run_fig9(
     result["replica_mean_lag_tasks"] = float(lag.mean()) if len(lag) else 0.0
     result["replica_max_lag_tasks"] = float(lag.max()) if len(lag) else 0.0
     return result
+
+
+def completion_curve_rows(results: list[CellResult]) -> list[dict[str, Any]]:
+    """Figure rows: the two coordinators' completion curves over time."""
+    rows: list[dict[str, Any]] = []
+    for result in results:
+        out = result.outputs
+        for t, lille, orsay in zip(
+            out["sample_times"], out["lille_completed"], out["orsay_completed"]
+        ):
+            rows.append(
+                {
+                    "seed": result.seed,
+                    "time_seconds": t,
+                    "lille_completed": lille,
+                    "orsay_completed": orsay,
+                }
+            )
+    return rows
+
+
+@scenario("fig9")
+def _fig9() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig9",
+        title="Reference Alcatel campaign (no fault): completion curves",
+        figure="9",
+        cell=reference_cell,
+        base=dict(
+            n_tasks=300,
+            servers_per_site=None,
+            median_duration=110.0,
+            replication_period=60.0,
+            horizon=30_000.0,
+            sample_period=60.0,
+        ),
+        seeds=(0,),
+        outputs=("makespan", "completed", "lille_completed", "orsay_completed"),
+        scales={
+            "tiny": dict(
+                n_tasks=60,
+                servers_per_site={"lille": 6, "wisconsin": 6, "orsay": 6},
+                median_duration=40.0,
+                seeds=(3,),
+            ),
+        },
+        reduce=completion_curve_rows,
+    )
+
+
+def run_fig9(
+    n_tasks: int = 300,
+    servers_per_site: dict[str, int] | None = None,
+    seed: int = 0,
+    **kwargs: Any,
+) -> dict[str, Any]:
+    """The reference (fault-free) execution of Figure 9."""
+    result = run_scenario(
+        _fig9,
+        params=dict(n_tasks=n_tasks, servers_per_site=servers_per_site, **kwargs),
+        seeds=(seed,),
+        jobs=1,
+    )
+    return dict(result.cells[0]["outputs"])

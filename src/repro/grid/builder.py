@@ -316,7 +316,12 @@ def build_grid(
         registry.set_preferred(
             Address(ComponentKind.COORDINATOR.value, preferred_client_name)
         )
-        session = Session.open(user=f"{user}" if index == 0 else f"{user}-{index}")
+        # Deterministic per-grid label: the process-global session counter
+        # would make session ids depend on how many grids were built earlier,
+        # breaking run-to-run reproducibility of sweep cells.
+        session = Session.open(
+            user=f"{user}" if index == 0 else f"{user}-{index}", label=f"g{index}"
+        )
         component = ClientComponent(
             host,
             session,

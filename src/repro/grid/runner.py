@@ -1,41 +1,19 @@
-"""Scenario runner: one-call helpers used by experiments and tests.
+"""One-call benchmark helper (compatibility wrapper).
 
-The runner encapsulates the repetitive part of every §5.1 experiment: build a
-confined cluster, start it, launch the synthetic benchmark on the client,
-optionally arm a fault generator over one class of components, run to
-completion (with a safety horizon), and report the numbers the paper plots.
+The execution core moved to :mod:`repro.scenarios.engine`, where the grid
+topology, workload and fault plan are declarative pieces shared by every
+scenario spec; this module keeps the historical flat-keyword entry point used
+by the tests, the examples and early experiment code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Literal
 
 from repro.config import ProtocolConfig
-from repro.grid.builder import Grid, build_confined_cluster
-from repro.nodes.faultgen import FaultGenerator
-from repro.workloads.synthetic import SyntheticWorkload
+from repro.scenarios.report import RunReport
 
 __all__ = ["RunReport", "run_synthetic_benchmark"]
-
-
-@dataclass
-class RunReport:
-    """Outcome of one scenario run."""
-
-    makespan: float
-    submitted: int
-    completed: int
-    faults_injected: int = 0
-    finished_in_time: bool = True
-    overhead_vs_ideal: float = 0.0
-    ideal_time: float = 0.0
-    counters: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def all_completed(self) -> bool:
-        """Whether every submitted call got its result back."""
-        return self.completed >= self.submitted
 
 
 def run_synthetic_benchmark(
@@ -60,53 +38,35 @@ def run_synthetic_benchmark(
     ``fault_restart_delay`` seconds) either the servers or the coordinators at
     ``faults_per_minute``.
     """
-    grid = build_confined_cluster(
-        n_servers=n_servers,
-        n_coordinators=n_coordinators,
+    # Imported lazily: repro.grid.__init__ pulls this module in, and the
+    # engine imports the grid builders — a module-level import would cycle.
+    from repro.scenarios.engine import (
+        FaultPlan,
+        GridTopology,
+        WorkloadSpec,
+        execute_benchmark,
+    )
+
+    faults = FaultPlan(
+        kind="none" if fault_target == "none" else "rate",
+        target=fault_target if fault_target != "none" else "servers",
+        faults_per_minute=faults_per_minute,
+        restart_delay=fault_restart_delay,
+    )
+    return execute_benchmark(
+        topology=GridTopology(
+            n_servers=n_servers,
+            n_coordinators=n_coordinators,
+            spread_servers=spread_servers,
+        ),
+        workload=WorkloadSpec(
+            n_calls=n_calls,
+            exec_time=exec_time,
+            params_bytes=params_bytes,
+            result_bytes=result_bytes,
+        ),
+        faults=faults,
         protocol=protocol,
         seed=seed,
-        spread_servers=spread_servers,
-    )
-    grid.start()
-
-    workload = SyntheticWorkload(
-        n_calls=n_calls,
-        exec_time=exec_time,
-        params_bytes=params_bytes,
-        result_bytes=result_bytes,
-    )
-    process = grid.run_process(workload.run(grid.client), name="synthetic-benchmark")
-
-    generator: FaultGenerator | None = None
-    if fault_target != "none" and faults_per_minute > 0:
-        targets = (
-            grid.server_hosts() if fault_target == "servers" else grid.coordinator_hosts()
-        )
-        generator = FaultGenerator(
-            env=grid.env,
-            hosts=targets,
-            rng=grid.rng,
-            faults_per_minute=faults_per_minute,
-            restart_delay=fault_restart_delay,
-            monitor=grid.monitor,
-            name=f"faultgen-{fault_target}",
-        )
-        generator.start()
-
-    finished = grid.run_until(process, timeout=horizon)
-    if generator is not None:
-        generator.stop()
-
-    makespan = workload.makespan if finished else grid.env.now
-    ideal = exec_time * n_calls / max(n_servers, 1)
-    overhead = (makespan - ideal) / ideal if ideal > 0 else 0.0
-    return RunReport(
-        makespan=makespan,
-        submitted=len(workload.handles),
-        completed=workload.completed_count(),
-        faults_injected=generator.injected if generator else 0,
-        finished_in_time=finished,
-        overhead_vs_ideal=overhead,
-        ideal_time=ideal,
-        counters=dict(grid.monitor.counters),
+        horizon=horizon,
     )

@@ -24,7 +24,7 @@ from repro.sim.core import Environment, ProcessKilled
 from repro.sim.monitor import Monitor
 from repro.sim.rng import RandomStreams
 
-__all__ = ["FaultGenerator", "ScriptedEvent", "FaultScript"]
+__all__ = ["ChurnInjector", "FaultGenerator", "ScriptedEvent", "FaultScript"]
 
 
 class FaultGenerator:
@@ -107,6 +107,75 @@ class FaultGenerator:
         if not host.up:
             host.restart()
             self.monitor.incr("faultgen.restarts")
+
+
+class ChurnInjector:
+    """Per-host volatility driven by a :class:`~repro.nodes.churn.ChurnModel`.
+
+    Unlike :class:`FaultGenerator` (one aggregate Poisson rate over the pool),
+    every host lives through its own up-time / down-time cycle drawn from the
+    model, as a volatile desktop-grid node would: it crashes when its up-time
+    expires and returns after its down-time — or never, when the model draws a
+    permanent departure.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        hosts: Sequence[Host],
+        rng: RandomStreams,
+        model: ChurnModel,
+        monitor: Monitor | None = None,
+        name: str = "churn",
+    ) -> None:
+        self.env = env
+        self.hosts = list(hosts)
+        self.rng = rng
+        self.model = model
+        self.monitor = monitor or Monitor()
+        self.name = name
+        self.injected = 0
+        self.restarts = 0
+        self.permanent_departures = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Start one volatility loop per host (idempotent)."""
+        if self._running or not self.hosts:
+            return
+        self._running = True
+        for host in self.hosts:
+            self.env.process(
+                self._host_loop(host), name=f"{self.name}:{host.address}"
+            )
+
+    def stop(self) -> None:
+        """Stop injecting further churn (in-flight restarts still happen)."""
+        self._running = False
+
+    def _host_loop(self, host: Host):
+        node = str(host.address)
+        while self._running:
+            uptime = self.model.uptime(self.rng, node)
+            if uptime == float("inf"):
+                return
+            yield self.env.timeout(uptime)
+            if not self._running:
+                return
+            downtime = self.model.downtime(self.rng, node)
+            if host.up:
+                self.injected += 1
+                self.monitor.incr("churn.departures")
+                host.crash(cause=self.name)
+            if downtime == float("inf"):
+                self.permanent_departures += 1
+                self.monitor.incr("churn.permanent")
+                return
+            yield self.env.timeout(downtime)
+            if not host.up:
+                host.restart()
+                self.restarts += 1
+                self.monitor.incr("churn.returns")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,54 @@
+"""Declarative scenario engine.
+
+One :class:`~repro.scenarios.spec.ScenarioSpec` describes a family of runs
+(grid topology, protocol overrides, workload, fault plan, sweep axes,
+measured outputs); the registry makes it addressable by name
+(``@scenario("fig7")``); the :class:`~repro.scenarios.runner.SweepRunner`
+fans its cells out over a process pool; the
+:class:`~repro.scenarios.store.ResultsStore` persists each run as a
+schema-versioned JSON artifact.  ``python -m repro`` is the front door.
+"""
+
+from repro.scenarios.engine import (
+    FaultPlan,
+    GridTopology,
+    RunReport,
+    WorkloadSpec,
+    benchmark_cell,
+    execute_benchmark,
+    resolve_protocol,
+)
+from repro.scenarios.registry import (
+    all_scenarios,
+    get_scenario,
+    load_all,
+    register,
+    scenario,
+)
+from repro.scenarios.runner import SweepRunner, run_scenario
+from repro.scenarios.spec import Axis, CellResult, ScenarioSpec, SweepCell, SweepPlan
+from repro.scenarios.store import ResultsStore, RunResult
+
+__all__ = [
+    "Axis",
+    "CellResult",
+    "FaultPlan",
+    "GridTopology",
+    "ResultsStore",
+    "RunReport",
+    "RunResult",
+    "ScenarioSpec",
+    "SweepCell",
+    "SweepPlan",
+    "SweepRunner",
+    "WorkloadSpec",
+    "all_scenarios",
+    "benchmark_cell",
+    "execute_benchmark",
+    "get_scenario",
+    "load_all",
+    "register",
+    "resolve_protocol",
+    "run_scenario",
+    "scenario",
+]

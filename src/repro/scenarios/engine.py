@@ -1,0 +1,336 @@
+"""Shared execution core: one declarative cell → one simulated run.
+
+This is where the declarative pieces of a :class:`~repro.scenarios.spec.ScenarioSpec`
+meet the simulator: a :class:`GridTopology` names one of the paper's two
+platforms, a :class:`WorkloadSpec` names the client workload, a
+:class:`FaultPlan` arms the fault injection, and protocol settings come from a
+named baseline preset plus dotted-path overrides.  :func:`execute_benchmark`
+runs the §5.1 synthetic benchmark over those pieces — it is the engine behind
+``repro.grid.runner.run_synthetic_benchmark`` (kept as a thin compatibility
+wrapper), the Figure 7 sweep, the baseline ablation and the churn scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.baselines import (
+    netsolve_style_protocol,
+    no_fault_tolerance_protocol,
+    rpcv_protocol,
+)
+from repro.config import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.grid.builder import Grid, build_confined_cluster, build_internet_testbed
+from repro.grid.deployment import confined_cluster_spec, internet_testbed_spec
+from repro.nodes.churn import ExponentialChurn
+from repro.nodes.faultgen import ChurnInjector, FaultGenerator
+from repro.scenarios.report import RunReport
+from repro.workloads.synthetic import SyntheticWorkload
+
+__all__ = [
+    "FaultPlan",
+    "GridTopology",
+    "RunReport",
+    "WorkloadSpec",
+    "execute_benchmark",
+    "apply_protocol_overrides",
+    "resolve_protocol",
+]
+
+#: named protocol presets a spec can reference instead of a ProtocolConfig.
+PROTOCOL_PRESETS = {
+    "default": ProtocolConfig,
+    "rpc-v": rpcv_protocol,
+    "no-replication": no_fault_tolerance_protocol,
+    "netsolve-style": netsolve_style_protocol,
+}
+
+
+@dataclass(frozen=True)
+class GridTopology:
+    """Which platform to build, declaratively."""
+
+    kind: str = "confined"  # "confined" | "internet"
+    n_servers: int = 16
+    n_coordinators: int = 4
+    n_clients: int = 1
+    spread_servers: bool = False
+    #: Internet testbed placement; ``None`` keeps the builder's default.
+    servers_per_site: Mapping[str, int] | None = None
+    coordinator_sites: tuple[str, ...] = ("lille", "orsay")
+    client_preferred: str = "lille"
+
+    def build(self, protocol: ProtocolConfig | None, seed: int) -> Grid:
+        """Instantiate the described platform (not yet started)."""
+        if self.kind == "confined":
+            return build_confined_cluster(
+                n_servers=self.n_servers,
+                n_coordinators=self.n_coordinators,
+                n_clients=self.n_clients,
+                protocol=protocol,
+                seed=seed,
+                spread_servers=self.spread_servers,
+            )
+        if self.kind == "internet":
+            return build_internet_testbed(
+                servers_per_site=dict(self.servers_per_site)
+                if self.servers_per_site is not None
+                else None,
+                coordinator_sites=self.coordinator_sites,
+                protocol=protocol,
+                seed=seed,
+                client_preferred=self.client_preferred,
+            )
+        raise ConfigurationError(f"unknown topology kind {self.kind!r}")
+
+    def default_protocol(self) -> ProtocolConfig:
+        """The platform's own protocol defaults (the spec factories' None branch)."""
+        if self.kind == "confined":
+            return confined_cluster_spec(n_servers=0, n_coordinators=1).protocol
+        return internet_testbed_spec(servers_per_site={}).protocol
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The client workload of the §5.1 synthetic benchmark."""
+
+    n_calls: int = 96
+    exec_time: float = 10.0
+    params_bytes: int = 1024
+    result_bytes: int = 64
+
+    def build(self) -> SyntheticWorkload:
+        return SyntheticWorkload(
+            n_calls=self.n_calls,
+            exec_time=self.exec_time,
+            params_bytes=self.params_bytes,
+            result_bytes=self.result_bytes,
+        )
+
+    @property
+    def ideal_time(self) -> float:
+        """Total serial work; callers divide by the worker count."""
+        return self.exec_time * self.n_calls
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative fault injection over one component tier.
+
+    ``kind`` selects the injector: ``"none"`` (fault-free), ``"rate"`` (the
+    Poisson fault generator of Figure 7, parameterised by the aggregate
+    ``faults_per_minute``) or ``"churn"`` (per-host volatility driven by an
+    exponential churn model — desktop-grid style departures and returns).
+    """
+
+    kind: str = "none"  # "none" | "rate" | "churn"
+    target: str = "servers"  # "servers" | "coordinators"
+    faults_per_minute: float = 0.0
+    restart_delay: float = 5.0
+    #: churn-model parameters (kind == "churn").
+    mtbf: float = 600.0
+    mttr: float = 30.0
+    permanent_fraction: float = 0.0
+
+    def arm(self, grid: Grid) -> FaultGenerator | ChurnInjector | None:
+        """Create and start the configured injector on ``grid`` (or nothing)."""
+        if self.kind == "none":
+            return None
+        if self.target == "servers":
+            hosts = grid.server_hosts()
+        elif self.target == "coordinators":
+            hosts = grid.coordinator_hosts()
+        else:
+            raise ConfigurationError(f"unknown fault target {self.target!r}")
+        if self.kind == "rate":
+            if self.faults_per_minute <= 0:
+                return None
+            generator = FaultGenerator(
+                env=grid.env,
+                hosts=hosts,
+                rng=grid.rng,
+                faults_per_minute=self.faults_per_minute,
+                restart_delay=self.restart_delay,
+                monitor=grid.monitor,
+                name=f"faultgen-{self.target}",
+            )
+            generator.start()
+            return generator
+        if self.kind == "churn":
+            injector = ChurnInjector(
+                env=grid.env,
+                hosts=hosts,
+                rng=grid.rng,
+                model=ExponentialChurn(
+                    mtbf=self.mtbf,
+                    mttr=self.mttr,
+                    permanent_fraction=self.permanent_fraction,
+                ),
+                monitor=grid.monitor,
+                name=f"churn-{self.target}",
+            )
+            injector.start()
+            return injector
+        raise ConfigurationError(f"unknown fault plan kind {self.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Protocol resolution
+# ---------------------------------------------------------------------------
+
+
+def apply_protocol_overrides(
+    protocol: ProtocolConfig, overrides: Mapping[str, Any]
+) -> ProtocolConfig:
+    """Apply dotted-path overrides (``"coordinator.replication.enabled"``).
+
+    Every path must name an existing attribute — typos are configuration
+    errors, not silent no-ops.  The mutated config is re-validated.
+    """
+    for path, value in overrides.items():
+        target: Any = protocol
+        parts = path.split(".")
+        for part in parts[:-1]:
+            if not hasattr(target, part):
+                raise ConfigurationError(f"unknown protocol path {path!r}")
+            target = getattr(target, part)
+        if not hasattr(target, parts[-1]):
+            raise ConfigurationError(f"unknown protocol path {path!r}")
+        setattr(target, parts[-1], value)
+    return protocol.validate()
+
+
+def resolve_protocol(
+    preset: str | ProtocolConfig | None = None,
+    overrides: Mapping[str, Any] | None = None,
+) -> ProtocolConfig:
+    """Build a ProtocolConfig from a preset name (or instance) plus overrides."""
+    if isinstance(preset, ProtocolConfig):
+        protocol = preset
+    else:
+        try:
+            factory = PROTOCOL_PRESETS[preset or "default"]
+        except KeyError:
+            known = ", ".join(sorted(PROTOCOL_PRESETS))
+            raise ConfigurationError(
+                f"unknown protocol preset {preset!r} (known: {known})"
+            ) from None
+        protocol = factory()
+    if overrides:
+        protocol = apply_protocol_overrides(protocol, overrides)
+    return protocol
+
+
+# ---------------------------------------------------------------------------
+# The execution core
+# ---------------------------------------------------------------------------
+
+
+def execute_benchmark(
+    topology: GridTopology,
+    workload: WorkloadSpec,
+    faults: FaultPlan = FaultPlan(),
+    protocol: ProtocolConfig | str | None = None,
+    protocol_overrides: Mapping[str, Any] | None = None,
+    seed: int = 0,
+    horizon: float = 4000.0,
+) -> RunReport:
+    """Run the §5.1 synthetic benchmark once over the declared pieces.
+
+    Build the platform, start it, launch the workload on the client, arm the
+    fault plan, run to completion (with the ``horizon`` safety deadline) and
+    report the numbers the paper plots.
+
+    ``protocol=None`` keeps the platform's own defaults (the confined cluster
+    replicates every 5 s, the Internet testbed every 60 s); overrides are then
+    applied on top of those defaults, not on a blank configuration.
+    """
+    if protocol is None:
+        config = (
+            apply_protocol_overrides(topology.default_protocol(), protocol_overrides)
+            if protocol_overrides
+            else None
+        )
+    else:
+        config = resolve_protocol(protocol, protocol_overrides)
+    grid = topology.build(config, seed)
+    grid.start()
+
+    bench = workload.build()
+    process = grid.run_process(bench.run(grid.client), name="synthetic-benchmark")
+    injector = faults.arm(grid)
+
+    finished = grid.run_until(process, timeout=horizon)
+    if injector is not None:
+        injector.stop()
+
+    makespan = bench.makespan if finished else grid.env.now
+    ideal = workload.ideal_time / max(len(grid.servers), 1)
+    overhead = (makespan - ideal) / ideal if ideal > 0 else 0.0
+    return RunReport(
+        makespan=makespan,
+        submitted=len(bench.handles),
+        completed=bench.completed_count(),
+        faults_injected=injector.injected if injector else 0,
+        finished_in_time=finished,
+        overhead_vs_ideal=overhead,
+        ideal_time=ideal,
+        counters=dict(grid.monitor.counters),
+    )
+
+
+def benchmark_cell(
+    seed: int = 0,
+    n_calls: int = 96,
+    exec_time: float = 10.0,
+    n_servers: int = 16,
+    n_coordinators: int = 4,
+    params_bytes: int = 1024,
+    result_bytes: int = 64,
+    spread_servers: bool = False,
+    fault_kind: str = "none",
+    fault_target: str = "servers",
+    faults_per_minute: float = 0.0,
+    restart_delay: float = 5.0,
+    mtbf: float = 600.0,
+    mttr: float = 30.0,
+    permanent_fraction: float = 0.0,
+    protocol_preset: str | None = None,
+    protocol_overrides: Mapping[str, Any] | None = None,
+    horizon: float = 4000.0,
+) -> dict[str, Any]:
+    """Flat-keyword cell kernel over :func:`execute_benchmark`.
+
+    This is the measurement kernel shared by the Figure 7 sweep, the baseline
+    ablation and the churn scenarios: every argument is a plain JSON-able
+    value so it can sit directly on a spec's ``base`` or ``axes``.
+    """
+    report = execute_benchmark(
+        topology=GridTopology(
+            n_servers=n_servers,
+            n_coordinators=n_coordinators,
+            spread_servers=spread_servers,
+        ),
+        workload=WorkloadSpec(
+            n_calls=n_calls,
+            exec_time=exec_time,
+            params_bytes=params_bytes,
+            result_bytes=result_bytes,
+        ),
+        faults=FaultPlan(
+            kind=fault_kind,
+            target=fault_target,
+            faults_per_minute=faults_per_minute,
+            restart_delay=restart_delay,
+            mtbf=mtbf,
+            mttr=mttr,
+            permanent_fraction=permanent_fraction,
+        ),
+        protocol=protocol_preset,
+        protocol_overrides=protocol_overrides,
+        seed=seed,
+        horizon=horizon,
+    )
+    return report.outputs()

@@ -1,0 +1,83 @@
+"""Scenarios beyond the paper's figures.
+
+This is where new workloads enter the registry as ~30-line declarative specs
+instead of new driver modules.  The first entry sweeps a volatile desktop
+grid: every server lives through exponential up/down cycles (see
+:mod:`repro.nodes.churn`), some departures permanent, and the question is how
+the makespan and completion degrade as the mean time between failures shrinks
+— the "volatile nodes" regime the paper targets but never sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.scenarios.engine import benchmark_cell
+from repro.scenarios.reducers import grouped, mean
+from repro.scenarios.registry import scenario
+from repro.scenarios.spec import Axis, CellResult, ScenarioSpec
+
+__all__ = ["CHURN_SURVIVAL"]
+
+
+def _churn_rows(results: list[CellResult]) -> list[dict[str, Any]]:
+    """One row per MTBF point: mean makespan/overhead, worst-case completion."""
+    rows: list[dict[str, Any]] = []
+    for (mtbf,), cells in grouped(results, ("mtbf",)).items():
+        rows.append(
+            {
+                "server_mtbf_seconds": mtbf,
+                "mean_makespan_seconds": mean(c.outputs["makespan"] for c in cells),
+                "mean_overhead_vs_ideal": mean(
+                    c.outputs["overhead_vs_ideal"] for c in cells
+                ),
+                "min_completion_ratio": min(
+                    c.outputs["completed"] / max(c.outputs["submitted"], 1)
+                    for c in cells
+                ),
+                "departures": sum(c.outputs["faults_injected"] for c in cells),
+                "all_finished": all(c.outputs["finished_in_time"] for c in cells),
+            }
+        )
+    return rows
+
+
+@scenario("churn-survival")
+def _churn_survival() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="churn-survival",
+        title="Synthetic benchmark on a volatile grid vs server MTBF",
+        figure=None,
+        description=(
+            "Every server churns independently (exponential up/down cycles, a "
+            "few permanent departures); sweep the MTBF down from calm to "
+            "hostile and watch completion survive rescheduling."
+        ),
+        cell=benchmark_cell,
+        base=dict(
+            n_calls=48,
+            exec_time=5.0,
+            n_servers=8,
+            n_coordinators=4,
+            fault_kind="churn",
+            fault_target="servers",
+            mttr=20.0,
+            permanent_fraction=0.05,
+            horizon=6000.0,
+        ),
+        axes=(Axis("mtbf", (900.0, 300.0, 120.0, 60.0)),),
+        seeds=(3, 5, 9),
+        outputs=("makespan", "completed", "faults_injected", "overhead_vs_ideal"),
+        scales={
+            # Small enough for CI, volatile enough that departures do happen:
+            # the ideal time (12 x 5 s / 2 servers = 30 s) spans several MTBFs.
+            "tiny": dict(
+                n_calls=12, exec_time=5.0, n_servers=2, n_coordinators=2,
+                mttr=5.0, mtbf=(20.0, 6.0), seeds=(3,), horizon=2500.0,
+            ),
+        },
+        reduce=_churn_rows,
+    )
+
+
+CHURN_SURVIVAL = _churn_survival

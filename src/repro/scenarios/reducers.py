@@ -1,0 +1,33 @@
+"""Small helpers for spec ``reduce`` callables.
+
+A reduce step turns the per-cell results of a sweep into the rows the figure
+plots.  Most figures follow the same two shapes — group the cells by one or
+two swept parameters, then average the replicates (seeds) and/or pivot one
+axis into columns — so the grouping helper lives here and each experiment
+module keeps only its figure-specific row assembly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.scenarios.spec import CellResult
+
+__all__ = ["grouped", "mean"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def grouped(
+    results: Sequence[CellResult], keys: Sequence[str]
+) -> dict[tuple, list[CellResult]]:
+    """Group cell results by the values of ``keys``, preserving cell order."""
+    groups: dict[tuple, list[CellResult]] = {}
+    for result in results:
+        group = tuple(result.params[key] for key in keys)
+        groups.setdefault(group, []).append(result)
+    return groups

@@ -1,0 +1,44 @@
+"""The per-run report shared by the execution engine and its wrappers.
+
+Lives in its own dependency-free module so both :mod:`repro.scenarios.engine`
+and the :mod:`repro.grid.runner` compatibility wrapper can import it without
+creating a package cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RunReport"]
+
+
+@dataclass
+class RunReport:
+    """Outcome of one benchmark run."""
+
+    makespan: float
+    submitted: int
+    completed: int
+    faults_injected: int = 0
+    finished_in_time: bool = True
+    overhead_vs_ideal: float = 0.0
+    ideal_time: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def all_completed(self) -> bool:
+        """Whether every submitted call got its result back."""
+        return self.completed >= self.submitted
+
+    def outputs(self) -> dict[str, Any]:
+        """The JSON-able measured outputs stored per sweep cell."""
+        return {
+            "makespan": self.makespan,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "faults_injected": self.faults_injected,
+            "finished_in_time": self.finished_in_time,
+            "overhead_vs_ideal": self.overhead_vs_ideal,
+            "ideal_time": self.ideal_time,
+        }

@@ -1,0 +1,168 @@
+"""Parallel sweep execution over a scenario's cells.
+
+Every cell of a resolved sweep is one independent, deterministic simulation
+(its own environment, RNG streams and monitor, fully described by the merged
+parameters plus the seed), so a sweep is embarrassingly parallel: the
+:class:`SweepRunner` fans the cells out over a ``ProcessPoolExecutor`` and
+reassembles the results in cell order, which makes the parallel run
+row-for-row identical to the sequential fallback (``jobs=1``) for the same
+seeds.  Workers receive the cell kernel (a module-level callable, pickled by
+reference) plus plain parameter dictionaries — nothing else crosses the
+process boundary, so ad-hoc specs work under both fork and spawn start
+methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import CellResult, ScenarioSpec, SweepCell, SweepPlan
+from repro.scenarios.store import ResultsStore, RunResult
+
+__all__ = ["SweepRunner", "run_scenario"]
+
+
+def _execute_cell(
+    cell: Callable[..., dict[str, Any]], call_params: dict[str, Any]
+) -> tuple[dict[str, Any], float]:
+    """Worker entry point: run one cell kernel, timing it.
+
+    Runs in the parent for sequential sweeps and in pool workers for parallel
+    ones.
+    """
+    started = time.perf_counter()
+    outputs = cell(**call_params)
+    return outputs, time.perf_counter() - started
+
+
+class SweepRunner:
+    """Enumerate and execute the cells of one scenario sweep."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec | str,
+        scale: str | None = None,
+        jobs: int | None = None,
+        seeds: Sequence[int] | None = None,
+        axes: Mapping[str, Sequence[Any]] | None = None,
+        params: Mapping[str, Any] | None = None,
+        store: ResultsStore | None = None,
+    ) -> None:
+        self.spec = get_scenario(spec) if isinstance(spec, str) else spec
+        self.plan: SweepPlan = self.spec.resolve(
+            scale=scale, seeds=seeds, axes=axes, params=params
+        )
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.store = store
+
+    # ------------------------------------------------------------------- run
+    def run(self, save: bool = False) -> RunResult:
+        """Execute every cell and return the assembled :class:`RunResult`.
+
+        With ``save=True`` (or a store passed at construction *and*
+        ``save=True``) the artifact is written and its path recorded under
+        ``result.manifest["artifact"]``.
+        """
+        cells = self.plan.cells()
+        started_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        started = time.perf_counter()
+        parallel = self.jobs > 1 and len(cells) > 1
+        if parallel:
+            raw = self._run_parallel(cells)
+            parallel = raw is not None
+        if not parallel:
+            raw = [_execute_cell(self.spec.cell, cell.call_params) for cell in cells]
+        wall = time.perf_counter() - started
+
+        results = [
+            CellResult(
+                index=cell.index,
+                params=dict(cell.params),
+                seed=cell.seed,
+                outputs=outputs,
+                wall_seconds=cell_wall,
+            )
+            for cell, (outputs, cell_wall) in zip(cells, raw)
+        ]
+        rows = (
+            self.spec.reduce(results)
+            if self.spec.reduce is not None
+            else [result.row() for result in results]
+        )
+        result = RunResult(
+            scenario=self.spec.name,
+            scale=self.plan.scale,
+            spec_hash=self.spec.spec_hash(self.plan),
+            seeds=self.plan.seeds,
+            rows=rows,
+            cells=[
+                {
+                    "params": dict(r.params),
+                    "seed": r.seed,
+                    "outputs": dict(r.outputs),
+                    "wall_seconds": r.wall_seconds,
+                }
+                for r in results
+            ],
+            jobs=self.jobs if parallel else 1,
+            parallel=parallel,
+            wall_seconds=wall,
+            started_at=started_at,
+            title=self.spec.title,
+            figure=self.spec.figure,
+            manifest=self.spec.manifest(self.plan),
+        )
+        if save:
+            store = self.store or ResultsStore()
+            result.manifest["artifact"] = str(store.save(result))
+        return result
+
+    def _run_parallel(
+        self, cells: list[SweepCell]
+    ) -> list[tuple[dict[str, Any], float]] | None:
+        """Fan the cells out over a process pool; ``None`` → fall back.
+
+        Results come back in cell order regardless of completion order.  A
+        pool that cannot start (restricted sandboxes) or a cell that cannot
+        cross the process boundary (a non-module-level kernel) degrades to
+        the sequential path instead of failing the sweep; genuine cell
+        errors still propagate.
+        """
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            # Fork keeps worker start-up cheap (no re-import per worker).
+            context = multiprocessing.get_context("fork")
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(cells)), mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(_execute_cell, self.spec.cell, cell.call_params)
+                    for cell in cells
+                ]
+                return [future.result() for future in futures]
+        except (OSError, PermissionError, pickle.PicklingError, AttributeError):
+            return None
+
+
+def run_scenario(
+    spec: ScenarioSpec | str,
+    scale: str | None = None,
+    jobs: int | None = None,
+    seeds: Sequence[int] | None = None,
+    axes: Mapping[str, Sequence[Any]] | None = None,
+    params: Mapping[str, Any] | None = None,
+    store: ResultsStore | None = None,
+    save: bool = False,
+) -> RunResult:
+    """One-call convenience over :class:`SweepRunner`."""
+    return SweepRunner(
+        spec, scale=scale, jobs=jobs, seeds=seeds, axes=axes, params=params,
+        store=store,
+    ).run(save=save)

@@ -1,0 +1,100 @@
+"""JSON results store: one artifact per sweep run.
+
+Every :class:`~repro.scenarios.runner.SweepRunner` run produces a
+:class:`RunResult` — schema-versioned rows plus the metadata needed to trust
+and reproduce them (scenario name, resolved spec hash, seeds, cell count,
+wall time, worker count).  The store writes each result as one JSON file under
+``results/<scenario>/`` and loads them back for reporting and for
+paper-vs-measured comparison in :mod:`repro.analysis.metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import SCHEMA_VERSION
+
+__all__ = ["ResultsStore", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """One completed sweep: figure rows, raw cells, and provenance."""
+
+    scenario: str
+    scale: str
+    spec_hash: str
+    seeds: tuple[int, ...]
+    #: rows the figure plots (after the spec's reduce step).
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    #: raw per-cell records: {"params", "seed", "outputs", "wall_seconds"}.
+    cells: list[dict[str, Any]] = field(default_factory=list)
+    jobs: int = 1
+    parallel: bool = False
+    wall_seconds: float = 0.0
+    started_at: str = ""
+    title: str = ""
+    figure: str | None = None
+    manifest: dict[str, Any] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    def to_json(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["seeds"] = list(self.seeds)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "RunResult":
+        schema = payload.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"results artifact has schema {schema!r}, expected {SCHEMA_VERSION}"
+            )
+        known = {f for f in cls.__dataclass_fields__}
+        data = {k: v for k, v in payload.items() if k in known}
+        data["seeds"] = tuple(data.get("seeds", ()))
+        return cls(**data)
+
+
+class ResultsStore:
+    """Directory of per-run JSON artifacts, grouped by scenario."""
+
+    def __init__(self, root: str | Path = "results") -> None:
+        self.root = Path(root)
+
+    # ---------------------------------------------------------------- writing
+    def save(self, result: RunResult) -> Path:
+        """Write one artifact and return its path (never overwrites)."""
+        directory = self.root / result.scenario
+        directory.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        stem = f"{result.scenario}-{result.scale}-{stamp}-{result.spec_hash[:8]}"
+        path = directory / f"{stem}.json"
+        counter = 1
+        while path.exists():
+            path = directory / f"{stem}-{counter}.json"
+            counter += 1
+        path.write_text(json.dumps(result.to_json(), indent=2, default=str))
+        return path
+
+    # ---------------------------------------------------------------- reading
+    def load(self, path: str | Path) -> RunResult:
+        """Load one artifact back."""
+        return RunResult.from_json(json.loads(Path(path).read_text()))
+
+    def list_runs(self, scenario: str | None = None) -> list[Path]:
+        """Artifact paths, oldest first (per-directory name order)."""
+        if not self.root.exists():
+            return []
+        pattern = f"{scenario}/*.json" if scenario else "*/*.json"
+        return sorted(self.root.glob(pattern))
+
+    def latest(self, scenario: str) -> RunResult | None:
+        """The most recent artifact for ``scenario``, if any."""
+        runs = self.list_runs(scenario)
+        return self.load(runs[-1]) if runs else None

@@ -1,0 +1,255 @@
+"""Tests for the declarative scenario engine (spec, registry, runner, store, CLI)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main
+from repro.core.protocol import CallDescription
+from repro.errors import ConfigurationError
+from repro.grid.builder import build_confined_cluster
+from repro.scenarios import (
+    Axis,
+    ResultsStore,
+    ScenarioSpec,
+    all_scenarios,
+    benchmark_cell,
+    get_scenario,
+    run_scenario,
+)
+from repro.scenarios.engine import apply_protocol_overrides, resolve_protocol
+from repro.scenarios.runner import SweepRunner
+from repro.types import CallIdentity, RPCId, SessionId, TaskState, UserId
+
+EXPECTED_SCENARIOS = {
+    "fig4-size", "fig4-calls", "fig5-size", "fig5-count", "fig6-size",
+    "fig6-calls", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "ablation-baselines", "ablation-detector", "churn-survival",
+}
+
+#: fast overrides for the fig7 sweep used by the determinism tests.
+FIG7_MICRO = dict(
+    axes={"faults_per_minute": [0.0, 6.0]},
+    seeds=(7,),
+    params=dict(n_calls=8, exec_time=2.0, n_servers=4, n_coordinators=2,
+                horizon=1500.0),
+)
+
+
+class TestRegistry:
+    def test_every_figure_is_registered(self):
+        assert EXPECTED_SCENARIOS <= set(all_scenarios())
+
+    def test_get_scenario_round_trip(self):
+        for name in EXPECTED_SCENARIOS:
+            spec = get_scenario(name)
+            assert spec.name == name
+            assert callable(spec.cell)
+            assert "tiny" in spec.scales
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("fig99")
+
+    def test_duplicate_registration_raises(self):
+        spec = get_scenario("fig7")
+        clone = dataclasses.replace(spec)
+        from repro.scenarios.registry import register
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register(clone)
+
+
+class TestSpecResolution:
+    def test_cells_are_the_cartesian_product_times_seeds(self):
+        spec = get_scenario("fig7")
+        plan = spec.resolve()
+        n_freqs = len(plan.axes[0].values)
+        assert plan.n_cells == n_freqs * 2 * len(plan.seeds)
+        cells = plan.cells()
+        assert len(cells) == plan.n_cells
+        assert [cell.index for cell in cells] == list(range(plan.n_cells))
+
+    def test_scale_overrides_base_axes_and_seeds(self):
+        spec = get_scenario("fig7")
+        plan = spec.resolve(scale="tiny")
+        assert plan.axes[0].values == (0.0, 4.0, 10.0)
+        assert plan.seeds == (7, 11)
+        assert plan.base["n_calls"] == 24
+
+    def test_explicit_overrides_beat_the_scale(self):
+        spec = get_scenario("fig7")
+        plan = spec.resolve(
+            scale="tiny", seeds=(1,), axes={"faults_per_minute": [2.0]},
+            params={"n_calls": 4},
+        )
+        assert plan.axes[0].values == (2.0,)
+        assert plan.seeds == (1,)
+        assert plan.base["n_calls"] == 4
+
+    def test_unknown_scale_and_axis_raise(self):
+        spec = get_scenario("fig7")
+        with pytest.raises(ConfigurationError, match="no scale"):
+            spec.resolve(scale="gigantic")
+        with pytest.raises(ConfigurationError, match="no axis"):
+            spec.resolve(axes={"bogus": [1]})
+
+    def test_spec_hash_tracks_the_resolution(self):
+        spec = get_scenario("fig7")
+        assert spec.spec_hash() == spec.spec_hash()
+        assert spec.spec_hash() != spec.spec_hash(spec.resolve(scale="tiny"))
+        manifest = spec.manifest()
+        assert manifest["name"] == "fig7"
+        assert manifest["cell"].endswith("benchmark_cell")
+
+    def test_axis_and_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            Axis("x", ())
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                name="bad", title="t", cell=benchmark_cell,
+                base={"x": 1}, axes=(Axis("x", (1, 2)),),
+            )
+
+
+class TestProtocolResolution:
+    def test_presets_and_dotted_overrides(self):
+        protocol = resolve_protocol(
+            "rpc-v", {"coordinator.replication.enabled": False}
+        )
+        assert protocol.coordinator.replication.period == 5.0
+        assert not protocol.coordinator.replication.enabled
+
+    def test_bad_paths_and_presets_raise(self):
+        with pytest.raises(ConfigurationError, match="unknown protocol path"):
+            apply_protocol_overrides(resolve_protocol(), {"coordinator.bogus": 1})
+        with pytest.raises(ConfigurationError, match="unknown protocol preset"):
+            resolve_protocol("xtremweb")
+
+
+class TestSweepRunner:
+    def test_parallel_rows_equal_sequential_rows(self):
+        sequential = run_scenario("fig7", jobs=1, **FIG7_MICRO)
+        parallel = run_scenario("fig7", jobs=2, **FIG7_MICRO)
+        assert sequential.rows == parallel.rows
+        assert [c["outputs"] for c in sequential.cells] == [
+            c["outputs"] for c in parallel.cells
+        ]
+
+    def test_sequential_runs_are_reproducible(self):
+        first = run_scenario("fig7", jobs=1, **FIG7_MICRO)
+        second = run_scenario("fig7", jobs=1, **FIG7_MICRO)
+        assert first.rows == second.rows
+        assert first.spec_hash == second.spec_hash
+
+    def test_default_reduce_is_one_row_per_cell(self):
+        spec = ScenarioSpec(
+            name="adhoc-sum",
+            title="ad-hoc",
+            cell=benchmark_cell,
+            base=dict(n_calls=2, exec_time=0.5, n_servers=2, n_coordinators=1,
+                      horizon=500.0),
+            seeds=(0,),
+        )
+        result = SweepRunner(spec, jobs=1).run()
+        assert len(result.rows) == 1
+        assert result.rows[0]["seed"] == 0
+        assert result.rows[0]["completed"] == 2
+
+    def test_every_registered_scenario_smokes_at_tiny_scale(self):
+        for name, spec in all_scenarios().items():
+            result = run_scenario(name, scale="tiny", jobs=1)
+            assert result.rows, f"{name} produced no rows"
+            assert len(result.cells) == spec.resolve(scale="tiny").n_cells
+            assert result.scenario == name
+
+
+class TestResultsStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        result = run_scenario(
+            "fig8", scale="tiny", jobs=1, store=store, save=True
+        )
+        path = result.manifest["artifact"]
+        loaded = store.load(path)
+        assert loaded.scenario == "fig8"
+        assert loaded.rows == result.rows
+        assert loaded.spec_hash == result.spec_hash
+        assert loaded.seeds == result.seeds
+        assert store.latest("fig8").rows == result.rows
+        assert store.list_runs("fig8") and store.list_runs()
+
+    def test_schema_mismatch_is_rejected(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        run_scenario("fig8", scale="tiny", jobs=1, store=store, save=True)
+        path = store.list_runs("fig8")[0]
+        payload = path.read_text().replace('"schema": 1', '"schema": 99')
+        path.write_text(payload)
+        with pytest.raises(ConfigurationError, match="schema"):
+            store.load(path)
+
+
+class TestCli:
+    def test_list_names_every_scenario(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPECTED_SCENARIOS:
+            assert name in out
+
+    def test_run_writes_an_artifact(self, tmp_path, capsys):
+        code = main(
+            ["run", "fig8", "--scale", "tiny", "--jobs", "1",
+             "--out", str(tmp_path)]
+        )
+        assert code == 0
+        artifacts = list(tmp_path.glob("fig8/*.json"))
+        assert len(artifacts) == 1
+        assert "artifact" in capsys.readouterr().out
+
+    def test_report_shows_the_latest_run(self, tmp_path, capsys):
+        main(["run", "fig8", "--scale", "tiny", "--jobs", "1",
+              "--out", str(tmp_path), "--quiet"])
+        capsys.readouterr()
+        assert main(["report", "fig8", "--out", str(tmp_path)]) == 0
+        assert "fig8" in capsys.readouterr().out
+        assert main(["report", "--out", str(tmp_path)]) == 0
+        assert "Stored runs" in capsys.readouterr().out
+
+
+class TestCoordinatorPreload:
+    def _calls(self, n, params_bytes=256):
+        return [
+            CallDescription(
+                identity=CallIdentity(
+                    user=UserId("bench"),
+                    session=SessionId("preload"),
+                    rpc=RPCId(index + 1),
+                ),
+                service="sleep",
+                params_bytes=params_bytes,
+                result_bytes=16,
+                exec_time=1.0,
+            )
+            for index in range(n)
+        ]
+
+    def test_preload_registers_pending_tasks(self):
+        grid = build_confined_cluster(n_servers=1, n_coordinators=2, seed=1)
+        grid.start()
+        coordinator = grid.coordinators[0]
+        keys = coordinator.preload_tasks(self._calls(5))
+        assert len(keys) == 5
+        for key in keys:
+            assert coordinator.tasks[key].state is TaskState.PENDING
+            assert coordinator.tasks[key].owner == coordinator.name
+            assert key in coordinator._dirty
+
+    def test_preloaded_tasks_are_deterministic_across_runs(self):
+        def keys():
+            grid = build_confined_cluster(n_servers=1, n_coordinators=2, seed=1)
+            grid.start()
+            return grid.coordinators[0].preload_tasks(self._calls(3))
+
+        assert keys() == keys()
