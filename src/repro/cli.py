@@ -13,18 +13,25 @@ Examples::
     python -m repro list
     python -m repro run fig7 --jobs 4
     python -m repro run --scale tiny --out results
+    python -m repro run fig7 --protocol no-replication --scale tiny
+    python -m repro run fig7 --set coordinator.replication.period=30 \
+        --set client.result_poll_period=0.5
+    python -m repro run fig7 --resume   # skip already-checkpointed cells
     python -m repro report fig7
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import os
 import sys
 from typing import Any, Sequence
 
 from repro.errors import ConfigurationError
 from repro.experiments.common import format_rows
+from repro.scenarios.engine import PROTOCOL_PRESETS, resolve_protocol
 from repro.scenarios.registry import all_scenarios, get_scenario
 from repro.scenarios.runner import SweepRunner
 from repro.scenarios.store import ResultsStore
@@ -59,6 +66,24 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--seed", type=int, action="append", dest="seeds", metavar="S",
         help="replace the scenario's seed axis (repeatable)",
+    )
+    run.add_argument(
+        "--protocol", default=None, metavar="PRESET",
+        help="protocol preset for the runs (one of: "
+             f"{', '.join(sorted(PROTOCOL_PRESETS))}); only scenarios whose "
+             "cell kernel takes a protocol apply it",
+    )
+    run.add_argument(
+        "--set", action="append", dest="overrides", default=[],
+        metavar="PATH=VALUE",
+        help="dotted-path protocol override, e.g. "
+             "--set coordinator.replication.period=30 (repeatable; values "
+             "are parsed as JSON, falling back to strings)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already checkpointed for the same resolved spec "
+             "(same spec hash + seed) under the results store",
     )
     run.add_argument(
         "--out", default="results", metavar="DIR",
@@ -98,9 +123,57 @@ def _cmd_list() -> int:
     return 0
 
 
+def _parse_overrides(pairs: Sequence[str]) -> dict[str, Any]:
+    """``--set path=value`` pairs -> an overrides mapping (values via JSON)."""
+    overrides: dict[str, Any] = {}
+    for pair in pairs:
+        path, sep, raw = pair.partition("=")
+        if not sep or not path:
+            raise ConfigurationError(
+                f"--set expects PATH=VALUE, got {pair!r}"
+            )
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[path] = value
+    return overrides
+
+
+def _protocol_params(
+    spec: Any, preset: str | None, overrides: dict[str, Any]
+) -> dict[str, Any] | None:
+    """The protocol parameters to pass to ``spec``'s cell kernel.
+
+    Returns ``{}`` when nothing was requested, ``None`` when the kernel does
+    not accept protocol keywords (the scenario must then be skipped rather
+    than silently run with the wrong protocol).
+    """
+    if preset is None and not overrides:
+        return {}
+    accepted = {
+        parameter.name
+        for parameter in inspect.signature(spec.cell).parameters.values()
+        if parameter.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    if not {"protocol_preset", "protocol_overrides"} <= accepted:
+        return None
+    params: dict[str, Any] = {}
+    if preset is not None:
+        params["protocol_preset"] = preset
+    if overrides:
+        params["protocol_overrides"] = overrides
+    return params
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = args.scenarios or list(all_scenarios())
     store = ResultsStore(args.out)
+    overrides = _parse_overrides(args.overrides)
+    # Fail fast on a bad preset name or a typo'd override path, before any
+    # sweep burns time (the error already names the valid choices).
+    resolve_protocol(args.protocol, overrides)
     failures = 0
     for name in names:
         spec = get_scenario(name)
@@ -111,8 +184,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # output instead of a blown job timeout.
             print(f"-- {name}: no {scale!r} scale defined, skipping")
             continue
+        protocol_params = _protocol_params(spec, args.protocol, overrides)
+        if protocol_params is None:
+            print(f"-- {name}: cell kernel takes no protocol, skipping")
+            continue
         runner = SweepRunner(
-            spec, scale=scale, jobs=args.jobs, seeds=args.seeds, store=store
+            spec, scale=scale, jobs=args.jobs, seeds=args.seeds, store=store,
+            params=protocol_params or None, resume=args.resume,
         )
         plan = runner.plan
         print(
@@ -126,9 +204,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"!! {name} failed: {error}", file=sys.stderr)
             continue
         mode = f"parallel x{result.jobs}" if result.parallel else "sequential"
+        resumed = (
+            f", {runner.resumed_cells} resumed" if runner.resumed_cells else ""
+        )
         print(
             f"   {len(result.rows)} rows from {len(result.cells)} cells "
-            f"in {result.wall_seconds:.2f}s ({mode}), spec {result.spec_hash}"
+            f"in {result.wall_seconds:.2f}s ({mode}{resumed}), "
+            f"spec {result.spec_hash}"
         )
         if not args.quiet:
             print(format_rows(result.rows, title=f"   {result.title}"))

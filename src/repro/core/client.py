@@ -121,10 +121,16 @@ class ClientComponent:
         max_durable = self.log.max_durable_key(default=0) or 0
         self.session.restore_counter(int(max_durable))
 
+    def setup(self, builder) -> None:
+        """Component lifecycle hook: the grid tier wiring already bound
+        everything this client needs, so there is nothing left to pull off
+        the :class:`~repro.platform.builder.Builder`."""
+
     def start(self) -> None:
         """(Re)start the client's background processes on its host.
 
-        Called once by the builder, and again by the host on every restart.
+        Called once by the component manager, and again by the host on every
+        restart.
         """
         self._init_volatile()
         self.started = True
@@ -145,6 +151,22 @@ class ClientComponent:
             },
         )
         self._heartbeat.start()
+
+    def stop(self) -> None:
+        """Retire the client: cancel the heart-beat timer (idempotent).
+
+        The host's simulation processes are not killed — that would be a
+        crash, not a shutdown — they simply stop mattering once the
+        environment stops advancing.
+        """
+        self.started = False
+        if self._heartbeat is not None:
+            self._heartbeat.stop()
+
+    @property
+    def name(self) -> str:
+        """Component name (the client's address string)."""
+        return str(self.host.address)
 
     @property
     def address(self) -> Address:

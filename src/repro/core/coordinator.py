@@ -98,6 +98,10 @@ class CoordinatorComponent:
         host.on_restart(lambda _host: self.start())
 
     # ------------------------------------------------------------------ setup
+    def setup(self, builder) -> None:
+        """Component lifecycle hook: the grid tier wiring already bound
+        everything this coordinator needs."""
+
     def start(self) -> None:
         """(Re)start the coordinator's loops; persistent state is already here."""
         self.scheduler = FcfsScheduler(self.config.scheduler)
@@ -128,6 +132,12 @@ class CoordinatorComponent:
         )
         self._coord_heartbeat.start()
         self._sample_completed()
+
+    def stop(self) -> None:
+        """Retire the coordinator: cancel the heart-beat timer (idempotent)."""
+        self.started = False
+        if self._coord_heartbeat is not None:
+            self._coord_heartbeat.stop()
 
     @property
     def address(self) -> Address:

@@ -61,6 +61,10 @@ class ServerComponent:
         host.on_restart(lambda _host: self.start())
 
     # ------------------------------------------------------------------ setup
+    def setup(self, builder) -> None:
+        """Component lifecycle hook: the grid tier wiring already bound
+        everything this server needs."""
+
     def start(self) -> None:
         """(Re)start the server loops; unacknowledged results are resynced."""
         self.result_log = MessageLog(self.host, f"server:{self.host.address.name}")
@@ -91,6 +95,12 @@ class ServerComponent:
             },
         )
         self._heartbeat.start()
+
+    def stop(self) -> None:
+        """Retire the server: cancel the heart-beat timer (idempotent)."""
+        self.started = False
+        if self._heartbeat is not None:
+            self._heartbeat.stop()
 
     @property
     def address(self) -> Address:

@@ -82,6 +82,15 @@ class HeartbeatEmitter:
         self._handle: CallHandle | None = None
         self._rng = host.rng.stream(f"heartbeat.{host.address}")
 
+    # -- component protocol -------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Component name: message type at host (e.g. ``ping@server:s003``)."""
+        return f"{self.mtype.value}@{self.host.address}"
+
+    def setup(self, builder) -> None:
+        """Component lifecycle hook: the emitter binds at construction."""
+
     def start(self) -> None:
         """Arm the beat timer on the kernel callback lane (host must be up)."""
         if not self.host.up:

@@ -70,7 +70,6 @@ def _fig7() -> ScenarioSpec:
             exec_time=10.0,
             n_servers=16,
             n_coordinators=4,
-            fault_kind="rate",
             restart_delay=5.0,
             horizon=6000.0,
         ),
@@ -80,6 +79,18 @@ def _fig7() -> ScenarioSpec:
         ),
         seeds=(7, 11, 23),
         outputs=("makespan", "submitted", "completed", "faults_injected"),
+        # The Poisson injector is a named platform component; both the rate
+        # and the victim tier are swept axes, wired in via $-interpolation.
+        components=(
+            {
+                "name": "inject.rate",
+                "params": {
+                    "target": "$fault_target",
+                    "faults_per_minute": "$faults_per_minute",
+                    "restart_delay": "$restart_delay",
+                },
+            },
+        ),
         scales={
             "tiny": dict(
                 faults_per_minute=(0.0, 4.0, 10.0),

@@ -7,12 +7,21 @@ assignments the way the paper's experiments do (the client submits to the
 first coordinator — Lille in the real-life runs — and servers are spread over
 the coordinators round-robin on the cluster, or attached to their site's
 coordinator on the Internet testbed).
+
+Since the platform redesign the grid is assembled on the component platform
+(:mod:`repro.platform`): every protocol component is registered with a
+:class:`~repro.platform.manager.ComponentManager` that owns setup, start and
+stop ordering (coordinators, then servers, then clients — teardown in
+reverse), and extra components — injectors, partition schedules, custom
+policies — join by instance, registered name or dotted path through
+``build_grid(components=...)`` or :meth:`Grid.add_component`, with **zero
+edits to this module** (see ``examples/custom_component.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator
+from typing import Any, Callable, Generator, Mapping, Sequence
 
 import networkx as nx
 
@@ -28,6 +37,7 @@ from repro.grid.deployment import DeploymentSpec, confined_cluster_spec, interne
 from repro.net.partition import PartitionManager
 from repro.net.transport import Network
 from repro.nodes.node import Host
+from repro.platform import Builder, Component, ComponentManager, create_component
 from repro.sim.core import Environment, Process
 from repro.sim.monitor import Monitor
 from repro.sim.rng import RandomStreams
@@ -38,7 +48,7 @@ __all__ = ["Grid", "build_confined_cluster", "build_internet_testbed", "build_gr
 
 @dataclass
 class Grid:
-    """One fully-wired scenario."""
+    """One fully-wired scenario, assembled on the component platform."""
 
     spec: DeploymentSpec
     env: Environment
@@ -47,17 +57,27 @@ class Grid:
     network: Network
     partitions: PartitionManager
     services: ServiceRegistry
+    manager: ComponentManager
+    builder: Builder
     clients: list[ClientComponent] = field(default_factory=list)
     coordinators: list[CoordinatorComponent] = field(default_factory=list)
     servers: list[ServerComponent] = field(default_factory=list)
     hosts: dict[Address, Host] = field(default_factory=dict)
-    started: bool = False
 
     # ------------------------------------------------------------------ access
+    @property
+    def started(self) -> bool:
+        """Whether the scenario's components are running."""
+        return self.manager.started
+
     @property
     def client(self) -> ClientComponent:
         """The first (usually only) client."""
         return self.clients[0]
+
+    def component(self, name: str) -> Component:
+        """One registered component by name (protocol tiers included)."""
+        return self.manager.get(name)
 
     def coordinator_by_name(self, name: str) -> CoordinatorComponent:
         """Coordinator whose address name (e.g. ``'lille'``) matches ``name``."""
@@ -84,16 +104,35 @@ class Grid:
 
     # ------------------------------------------------------------------ control
     def start(self) -> None:
-        """Start every component (idempotent)."""
-        if self.started:
-            return
-        for coordinator in self.coordinators:
-            coordinator.start()
-        for server in self.servers:
-            server.start()
-        for client in self.clients:
-            client.start()
-        self.started = True
+        """Start every component in registration order (idempotent).
+
+        The manager preserves the historical tier order: coordinators come
+        up first, then servers, then clients, then any extra components.
+        """
+        self.manager.start_all()
+
+    def stop(self) -> None:
+        """Stop every component, in reverse start order (idempotent)."""
+        self.manager.stop_all()
+
+    def add_component(
+        self,
+        entry: "Component | str | tuple | Mapping[str, Any]",
+        params: Mapping[str, Any] | None = None,
+    ) -> Component:
+        """Register one more component (instance, name, or name + params).
+
+        Accepted shapes: a live :class:`~repro.platform.component.Component`,
+        a registered name / dotted path (optionally with ``params``), a
+        ``(name, params)`` pair, or a ``{"name": ..., "params": {...}}``
+        mapping — the declarative form scenario specs use.  A component added
+        to a running grid is set up and started immediately, so
+        workload-relative injectors can join without disturbing anything
+        already scheduled.
+        """
+        component = _resolve_entry(entry, params)
+        self.manager.add(component)
+        return component
 
     def run(self, until: float | None = None) -> None:
         """Advance the simulation (forever / until a time / until an event)."""
@@ -188,12 +227,34 @@ class Grid:
 # ---------------------------------------------------------------------------
 
 
+def _resolve_entry(
+    entry: "Component | str | tuple | Mapping[str, Any]",
+    params: Mapping[str, Any] | None = None,
+) -> Component:
+    """Normalise one ``components=`` entry into a live component instance."""
+    if isinstance(entry, str):
+        return create_component(entry, params)
+    if isinstance(entry, tuple):
+        name, entry_params = entry
+        return create_component(name, {**dict(entry_params or {}), **dict(params or {})})
+    if isinstance(entry, Mapping):
+        return create_component(
+            entry["name"], {**dict(entry.get("params") or {}), **dict(params or {})}
+        )
+    if params:
+        raise ConfigurationError(
+            "params only apply when the component is given by name"
+        )
+    return entry
+
+
 def build_grid(
     spec: DeploymentSpec,
     services: ServiceRegistry | None = None,
     user: str = "user0",
     client_preferred: str | None = None,
     server_preferred: Callable[[int, str], str] | None = None,
+    components: Sequence["Component | str | tuple | Mapping[str, Any]"] = (),
 ) -> Grid:
     """Instantiate every substrate and component described by ``spec``.
 
@@ -201,13 +262,17 @@ def build_grid(
     to (defaults to the first coordinator).  ``server_preferred`` maps
     ``(server_index, server_site)`` to a coordinator name for the initial
     attachment (defaults to the coordinator at the same site when one exists,
-    round-robin otherwise).
+    round-robin otherwise).  ``components`` are extra platform components
+    (instances, registered names, ``(name, params)`` pairs or ``{"name":
+    ..., "params": ...}`` mappings) registered after the protocol tiers and
+    set up alongside them.
     """
     env = Environment()
     rng = RandomStreams(spec.seed)
     monitor = Monitor()
     partitions = PartitionManager()
     services = services or default_registry()
+    manager = ComponentManager()
 
     # -- coordinator addresses come first: everybody needs the list ------------
     coordinator_names: list[str] = []
@@ -250,6 +315,17 @@ def build_grid(
         partitions=partitions,
     )
 
+    builder = Builder(
+        env=env,
+        network=network,
+        rng=rng,
+        monitor=monitor,
+        services=services,
+        config=spec.protocol,
+        partitions=partitions,
+        spec=spec,
+        manager=manager,
+    )
     grid = Grid(
         spec=spec,
         env=env,
@@ -258,7 +334,10 @@ def build_grid(
         network=network,
         partitions=partitions,
         services=services,
+        manager=manager,
+        builder=builder,
     )
+    builder.attach_grid(grid)
 
     # -- coordinators ----------------------------------------------------------
     for address in coordinator_addresses:
@@ -276,6 +355,7 @@ def build_grid(
         )
         grid.hosts[address] = host
         grid.coordinators.append(component)
+        manager.add(component)
 
     # -- servers ----------------------------------------------------------------
     for idx, (address, site) in enumerate(zip(server_addresses, server_sites)):
@@ -304,6 +384,7 @@ def build_grid(
         )
         grid.hosts[address] = host
         grid.servers.append(component)
+        manager.add(component)
 
     # -- clients ----------------------------------------------------------------
     preferred_client_name = client_preferred or coordinator_names[0]
@@ -331,7 +412,13 @@ def build_grid(
         )
         grid.hosts[address] = host
         grid.clients.append(component)
+        manager.add(component)
 
+    # -- extra components ------------------------------------------------------
+    for entry in components:
+        grid.add_component(entry)
+
+    manager.setup_all(builder)
     return grid
 
 
@@ -343,6 +430,7 @@ def build_confined_cluster(
     seed: int = 0,
     services: ServiceRegistry | None = None,
     spread_servers: bool = True,
+    components: Sequence["Component | str | tuple | Mapping[str, Any]"] = (),
 ) -> Grid:
     """Build the confined-cluster platform of §5.1 (started lazily).
 
@@ -365,7 +453,12 @@ def build_confined_cluster(
     server_preferred = None
     if spread_servers and len(coordinator_names) > 1:
         server_preferred = lambda idx, _site: coordinator_names[idx % len(coordinator_names)]
-    return build_grid(spec, services=services, server_preferred=server_preferred)
+    return build_grid(
+        spec,
+        services=services,
+        server_preferred=server_preferred,
+        components=components,
+    )
 
 
 def build_internet_testbed(
@@ -375,6 +468,7 @@ def build_internet_testbed(
     seed: int = 0,
     services: ServiceRegistry | None = None,
     client_preferred: str = "lille",
+    components: Sequence["Component | str | tuple | Mapping[str, Any]"] = (),
 ) -> Grid:
     """Build the Internet testbed of §5.2 (client submits to Lille by default)."""
     spec = internet_testbed_spec(
@@ -383,4 +477,9 @@ def build_internet_testbed(
         protocol=protocol,
         seed=seed,
     )
-    return build_grid(spec, services=services, client_preferred=client_preferred)
+    return build_grid(
+        spec,
+        services=services,
+        client_preferred=client_preferred,
+        components=components,
+    )

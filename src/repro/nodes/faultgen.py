@@ -60,6 +60,13 @@ class FaultGenerator:
         self.injected = 0
         self._running = False
 
+    def setup(self, builder) -> None:
+        """Component lifecycle hook: the generator binds at construction.
+
+        (The declarative, Builder-driven construction lives in
+        :class:`repro.platform.library.RateFaultInjector`.)
+        """
+
     # -- autonomous operation -----------------------------------------------------
     def start(self) -> None:
         """Start injecting faults (no-op at rate 0)."""
@@ -138,6 +145,13 @@ class ChurnInjector:
         self.restarts = 0
         self.permanent_departures = 0
         self._running = False
+
+    def setup(self, builder) -> None:
+        """Component lifecycle hook: the injector binds at construction.
+
+        (The declarative, Builder-driven construction lives in
+        :class:`repro.platform.library.ChurnInjectorComponent`.)
+        """
 
     def start(self) -> None:
         """Start one volatility loop per host (idempotent)."""

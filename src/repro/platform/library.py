@@ -1,0 +1,358 @@
+"""Built-in registered components.
+
+These are the declarative building blocks a :class:`~repro.scenarios.spec.
+ScenarioSpec` can name in its ``components:`` list (or code can pass to
+``build_grid(components=...)`` / ``grid.add_component(...)``) without touching
+any wiring code:
+
+* ``inject.rate``            — the Poisson fault generator of Figure 7;
+* ``inject.churn``           — per-host volatility (desktop-grid churn);
+* ``inject.script``          — a deterministic kill/restart timetable;
+* ``net.partition-schedule`` — timed partitions/heals over the partition
+  manager (split-brain and one-way visibility rules);
+* ``detect.heartbeat``       — an auxiliary heart-beat beacon from one tier
+  of hosts to arbitrary targets.
+
+Every class here follows the same shape: a constructor taking only plain
+(JSON-able) parameters, a ``setup(builder)`` pulling the substrate off the
+:class:`~repro.platform.builder.Builder`, and ``start``/``stop`` driving the
+underlying mechanism.  They double as reference implementations for custom
+components (see ``examples/custom_component.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.detect.heartbeat import HeartbeatEmitter
+from repro.errors import ConfigurationError
+from repro.net.message import MessageType
+from repro.nodes.churn import ChurnModel, ExponentialChurn
+from repro.nodes.faultgen import ChurnInjector, FaultGenerator, FaultScript
+from repro.platform.component import BaseComponent
+from repro.platform.registry import component
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform.builder import Builder
+
+__all__ = [
+    "ChurnInjectorComponent",
+    "HeartbeatBeacon",
+    "PartitionSchedule",
+    "RateFaultInjector",
+    "ScriptedFaults",
+]
+
+
+@component("inject.rate")
+class RateFaultInjector(BaseComponent):
+    """Aggregate-rate Poisson fault injection over one tier (Figure 7)."""
+
+    def __init__(
+        self,
+        target: str = "servers",
+        faults_per_minute: float = 0.0,
+        restart_delay: float = 5.0,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or f"faultgen-{target}")
+        self.target = target
+        self.faults_per_minute = faults_per_minute
+        self.restart_delay = restart_delay
+        self.injector: FaultGenerator | None = None
+
+    def setup(self, builder: "Builder") -> None:
+        self.injector = FaultGenerator(
+            env=builder.env,
+            hosts=builder.hosts(self.target),
+            rng=builder.rng,
+            faults_per_minute=self.faults_per_minute,
+            restart_delay=self.restart_delay,
+            monitor=builder.monitor,
+            name=self.name,
+        )
+
+    def start(self) -> None:
+        assert self.injector is not None, "setup() must run before start()"
+        self.injector.start()
+
+    def stop(self) -> None:
+        if self.injector is not None:
+            self.injector.stop()
+
+    @property
+    def injected(self) -> int:
+        """Faults injected so far (the ``faults_injected`` output)."""
+        return self.injector.injected if self.injector is not None else 0
+
+
+@component("inject.churn")
+class ChurnInjectorComponent(BaseComponent):
+    """Per-host volatility: every host of a tier churns independently."""
+
+    def __init__(
+        self,
+        target: str = "servers",
+        mtbf: float = 600.0,
+        mttr: float = 30.0,
+        permanent_fraction: float = 0.0,
+        model: ChurnModel | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or f"churn-{target}")
+        self.target = target
+        self.model = model or ExponentialChurn(
+            mtbf=mtbf, mttr=mttr, permanent_fraction=permanent_fraction
+        )
+        self.injector: ChurnInjector | None = None
+
+    def setup(self, builder: "Builder") -> None:
+        self.injector = ChurnInjector(
+            env=builder.env,
+            hosts=builder.hosts(self.target),
+            rng=builder.rng,
+            model=self.model,
+            monitor=builder.monitor,
+            name=self.name,
+        )
+
+    def start(self) -> None:
+        assert self.injector is not None, "setup() must run before start()"
+        self.injector.start()
+
+    def stop(self) -> None:
+        if self.injector is not None:
+            self.injector.stop()
+
+    @property
+    def injected(self) -> int:
+        """Departures injected so far (the ``faults_injected`` output)."""
+        return self.injector.injected if self.injector is not None else 0
+
+
+@component("inject.script")
+class ScriptedFaults(BaseComponent):
+    """A deterministic kill/restart timetable (the Figs. 10-11 style).
+
+    ``events`` is a list of ``{"time": ..., "action": "kill" | "restart",
+    "target": "<host name>"}`` records; targets are matched against
+    ``str(host.address)`` over the whole grid.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[Mapping[str, Any]] = (),
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or "fault-script")
+        self.script = FaultScript()
+        for event in events:
+            action = event.get("action")
+            if action == "kill":
+                self.script.kill(float(event["time"]), str(event["target"]))
+            elif action == "restart":
+                self.script.restart(float(event["time"]), str(event["target"]))
+            else:
+                raise ConfigurationError(
+                    f"unknown scripted action {action!r} (kill or restart)"
+                )
+        self._builder: "Builder | None" = None
+
+    def setup(self, builder: "Builder") -> None:
+        self._builder = builder
+        # Fail fast on a target no host of this grid matches.
+        known = {str(host.address) for host in builder.hosts("all")}
+        unknown = self.script.targets() - known
+        if unknown:
+            raise ConfigurationError(
+                f"fault script targets unknown hosts: {sorted(unknown)}"
+            )
+
+    def start(self) -> None:
+        assert self._builder is not None, "setup() must run before start()"
+        self.script.install(
+            self._builder.env, self._builder.hosts("all"), self._builder.monitor
+        )
+
+    # The driver process runs the timetable to its end; there is nothing to
+    # reclaim on stop (the process dies with the environment).
+
+
+@component("net.partition-schedule")
+class PartitionSchedule(BaseComponent):
+    """Timed partition/heal events over the partition manager.
+
+    ``events`` entries (times relative to the component's start):
+
+    * ``{"time": t, "action": "partition", "partition": "name",
+      "group_a": [...], "group_b": [...]}`` — install a named symmetric
+      partition; groups are host-name lists or tier selectors
+      (``"servers"`` / ``"coordinators"`` / ``"clients"``);
+    * ``{"time": t, "action": "heal", "partition": "name"}`` — remove it;
+    * ``{"time": t, "action": "hide", "dest": "x", "source": "y"}`` /
+      ``{"time": t, "action": "unhide", ...}`` — one-way visibility rules;
+    * ``{"time": t, "action": "heal-all"}`` — remove everything.
+    """
+
+    _ACTIONS = ("partition", "heal", "hide", "unhide", "heal-all")
+
+    def __init__(
+        self,
+        events: Sequence[Mapping[str, Any]] = (),
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or "partition-schedule")
+        for event in events:
+            if event.get("action") not in self._ACTIONS:
+                raise ConfigurationError(
+                    f"unknown partition action {event.get('action')!r} "
+                    f"(one of: {', '.join(self._ACTIONS)})"
+                )
+            if "time" not in event:
+                raise ConfigurationError(
+                    f"partition event {dict(event)!r} has no 'time'"
+                )
+        self.events = sorted((dict(e) for e in events), key=lambda e: e["time"])
+        self.applied = 0
+        self._builder: "Builder | None" = None
+
+    def setup(self, builder: "Builder") -> None:
+        self._builder = builder
+
+    def _addresses(self, group: Any) -> list:
+        builder = self._builder
+        assert builder is not None
+        if isinstance(group, str):
+            return [host.address for host in builder.hosts(group)]
+        return [builder.host(entry).address for entry in group]
+
+    def _apply(self, event: Mapping[str, Any]) -> None:
+        builder = self._builder
+        assert builder is not None
+        partitions = builder.partitions
+        action = event["action"]
+        if action == "partition":
+            partitions.partition(
+                str(event.get("partition", self.name)),
+                self._addresses(event["group_a"]),
+                self._addresses(event["group_b"]),
+            )
+        elif action == "heal":
+            partitions.heal(str(event.get("partition", self.name)))
+        elif action == "hide":
+            partitions.hide(
+                builder.host(event["dest"]).address,
+                from_source=builder.host(event["source"]).address,
+            )
+        elif action == "unhide":
+            partitions.unhide(
+                builder.host(event["dest"]).address,
+                from_source=builder.host(event["source"]).address,
+            )
+        else:  # heal-all
+            partitions.heal_all()
+        self.applied += 1
+
+    def start(self) -> None:
+        builder = self._builder
+        assert builder is not None, "setup() must run before start()"
+        if not self.events:
+            return
+        env = builder.env
+        immediate = [e for e in self.events if e["time"] <= 0]
+        timed = [e for e in self.events if e["time"] > 0]
+        # Zero-time events apply synchronously so a partition declared "from
+        # the start" is in force before the first message is ever routed.
+        for event in immediate:
+            self._apply(event)
+        if timed:
+            def driver():
+                start = env.now
+                for event in timed:
+                    delay = start + float(event["time"]) - env.now
+                    if delay > 0:
+                        yield env.timeout(delay)
+                    self._apply(event)
+
+            env.process(driver(), name=f"{self.name}:driver")
+
+
+@component("detect.heartbeat")
+class HeartbeatBeacon(BaseComponent):
+    """Auxiliary heart-beat emitters from one tier to arbitrary targets.
+
+    Attaches one :class:`~repro.detect.heartbeat.HeartbeatEmitter` per host
+    of ``tier``, beating to ``targets`` (a tier selector or explicit host
+    names) every ``period`` seconds — e.g. an out-of-band liveness signal a
+    custom detection policy consumes.  The protocol components' own emitters
+    are untouched; this is *extra* signal.  A host crash reclaims its
+    emitter's pending beat (the emitter's own crash hook) and a restart
+    re-arms it (the beacon's restart hook), so the beacon keeps beating
+    through churn exactly like the tier components' emitters do.
+    """
+
+    def __init__(
+        self,
+        tier: str = "servers",
+        targets: str | Sequence[str] = "coordinators",
+        period: float | None = None,
+        mtype: str = MessageType.PING.value,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or f"heartbeat-{tier}")
+        self.tier = tier
+        self.targets = targets
+        self.period = period
+        self.mtype = MessageType(mtype)
+        self.emitters: list[HeartbeatEmitter] = []
+        self._running = False
+
+    def setup(self, builder: "Builder") -> None:
+        detection = builder.config.server.detection
+        if self.period is not None:
+            detection = replace(detection, heartbeat_period=self.period)
+        if isinstance(self.targets, str):
+            target_addresses = lambda: [
+                host.address for host in builder.hosts(self.targets)
+            ]
+        else:
+            fixed = [builder.host(entry).address for entry in self.targets]
+            target_addresses = lambda: fixed
+        self.emitters = [
+            HeartbeatEmitter(
+                host=host,
+                config=detection,
+                mtype=self.mtype,
+                targets=target_addresses,
+            )
+            for host in builder.hosts(self.tier)
+        ]
+
+    def start(self) -> None:
+        self._running = True
+        for emitter in self.emitters:
+            if emitter.host.up:
+                emitter.start()
+            # Crashed hosts stop beating through the emitter's own crash
+            # hook; the restart hook re-arms the beat when they return (and
+            # arms hosts that were already down at start time).
+            emitter.host.add_restart_hook(self._on_host_restart)
+
+    def stop(self) -> None:
+        self._running = False
+        for emitter in self.emitters:
+            emitter.host.remove_restart_hook(self._on_host_restart)
+            emitter.stop()
+
+    def _on_host_restart(self, host) -> None:
+        if not self._running:
+            return
+        for emitter in self.emitters:
+            if emitter.host is host:
+                emitter.start()
+
+    @property
+    def sent(self) -> int:
+        """Total beats sent across every emitter."""
+        return sum(emitter.sent for emitter in self.emitters)

@@ -13,7 +13,9 @@ wrapper), the Figure 7 sweep, the baseline ablation and the churn scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from dataclasses import fields as dataclass_fields
+from dataclasses import is_dataclass
+from typing import Any, Mapping, Sequence
 
 from repro.baselines import (
     netsolve_style_protocol,
@@ -24,8 +26,8 @@ from repro.config import ProtocolConfig
 from repro.errors import ConfigurationError
 from repro.grid.builder import Grid, build_confined_cluster, build_internet_testbed
 from repro.grid.deployment import confined_cluster_spec, internet_testbed_spec
-from repro.nodes.churn import ExponentialChurn
 from repro.nodes.faultgen import ChurnInjector, FaultGenerator
+from repro.platform.library import ChurnInjectorComponent, RateFaultInjector
 from repro.scenarios.report import RunReport
 from repro.workloads.synthetic import SyntheticWorkload
 
@@ -36,6 +38,7 @@ __all__ = [
     "WorkloadSpec",
     "execute_benchmark",
     "apply_protocol_overrides",
+    "interpolate_params",
     "resolve_protocol",
 ]
 
@@ -86,10 +89,15 @@ class GridTopology:
         raise ConfigurationError(f"unknown topology kind {self.kind!r}")
 
     def default_protocol(self) -> ProtocolConfig:
-        """The platform's own protocol defaults (the spec factories' None branch)."""
+        """The platform's own protocol defaults (the spec factories' None branch).
+
+        The probe spec is minimal but *valid* (a zero-server spec fails
+        deployment validation); the protocol defaults do not depend on the
+        component counts.
+        """
         if self.kind == "confined":
-            return confined_cluster_spec(n_servers=0, n_coordinators=1).protocol
-        return internet_testbed_spec(servers_per_site={}).protocol
+            return confined_cluster_spec(n_servers=1, n_coordinators=1).protocol
+        return internet_testbed_spec(servers_per_site={"lille": 1}).protocol
 
 
 @dataclass(frozen=True)
@@ -123,6 +131,12 @@ class FaultPlan:
     Poisson fault generator of Figure 7, parameterised by the aggregate
     ``faults_per_minute``) or ``"churn"`` (per-host volatility driven by an
     exponential churn model — desktop-grid style departures and returns).
+
+    A fault plan is the keyword-argument view of the registered injector
+    components (``inject.rate`` / ``inject.churn``): :meth:`component`
+    produces the platform component, and :meth:`arm` registers it on a grid.
+    Scenario specs can bypass the plan entirely and name the components
+    directly in their ``components:`` list.
     """
 
     kind: str = "none"  # "none" | "rate" | "churn"
@@ -134,51 +148,55 @@ class FaultPlan:
     mttr: float = 30.0
     permanent_fraction: float = 0.0
 
-    def arm(self, grid: Grid) -> FaultGenerator | ChurnInjector | None:
-        """Create and start the configured injector on ``grid`` (or nothing)."""
+    def component(self) -> "RateFaultInjector | ChurnInjectorComponent | None":
+        """The platform component this plan describes (``None`` when inert)."""
         if self.kind == "none":
             return None
-        if self.target == "servers":
-            hosts = grid.server_hosts()
-        elif self.target == "coordinators":
-            hosts = grid.coordinator_hosts()
-        else:
+        if self.target not in ("servers", "coordinators"):
             raise ConfigurationError(f"unknown fault target {self.target!r}")
         if self.kind == "rate":
             if self.faults_per_minute <= 0:
                 return None
-            generator = FaultGenerator(
-                env=grid.env,
-                hosts=hosts,
-                rng=grid.rng,
+            return RateFaultInjector(
+                target=self.target,
                 faults_per_minute=self.faults_per_minute,
                 restart_delay=self.restart_delay,
-                monitor=grid.monitor,
-                name=f"faultgen-{self.target}",
             )
-            generator.start()
-            return generator
         if self.kind == "churn":
-            injector = ChurnInjector(
-                env=grid.env,
-                hosts=hosts,
-                rng=grid.rng,
-                model=ExponentialChurn(
-                    mtbf=self.mtbf,
-                    mttr=self.mttr,
-                    permanent_fraction=self.permanent_fraction,
-                ),
-                monitor=grid.monitor,
-                name=f"churn-{self.target}",
+            return ChurnInjectorComponent(
+                target=self.target,
+                mtbf=self.mtbf,
+                mttr=self.mttr,
+                permanent_fraction=self.permanent_fraction,
             )
-            injector.start()
-            return injector
         raise ConfigurationError(f"unknown fault plan kind {self.kind!r}")
+
+    def arm(self, grid: Grid) -> FaultGenerator | ChurnInjector | None:
+        """Register and start the configured injector on ``grid`` (or nothing).
+
+        Returns the underlying injector (the historical contract); the
+        wrapping component is registered with the grid's component manager
+        and set up through its :class:`~repro.platform.builder.Builder`.
+        """
+        component = self.component()
+        if component is None:
+            return None
+        grid.add_component(component)
+        return component.injector
 
 
 # ---------------------------------------------------------------------------
 # Protocol resolution
 # ---------------------------------------------------------------------------
+
+
+def _known_keys(target: Any) -> str:
+    """The valid attribute names at one segment of an override path."""
+    if is_dataclass(target):
+        keys = [f.name for f in dataclass_fields(target)]
+    else:
+        keys = [k for k in vars(target) if not k.startswith("_")]
+    return ", ".join(sorted(keys)) or "<none>"
 
 
 def apply_protocol_overrides(
@@ -187,17 +205,21 @@ def apply_protocol_overrides(
     """Apply dotted-path overrides (``"coordinator.replication.enabled"``).
 
     Every path must name an existing attribute — typos are configuration
-    errors, not silent no-ops.  The mutated config is re-validated.
+    errors, not silent no-ops, and the error names the valid keys at the
+    failing segment.  The mutated config is re-validated.
     """
     for path, value in overrides.items():
         target: Any = protocol
         parts = path.split(".")
-        for part in parts[:-1]:
+        for index, part in enumerate(parts):
             if not hasattr(target, part):
-                raise ConfigurationError(f"unknown protocol path {path!r}")
-            target = getattr(target, part)
-        if not hasattr(target, parts[-1]):
-            raise ConfigurationError(f"unknown protocol path {path!r}")
+                at = ".".join(parts[:index]) or "the protocol root"
+                raise ConfigurationError(
+                    f"unknown protocol path {path!r}: {part!r} is not a key "
+                    f"of {at} (valid keys: {_known_keys(target)})"
+                )
+            if index < len(parts) - 1:
+                target = getattr(target, part)
         setattr(target, parts[-1], value)
     return protocol.validate()
 
@@ -224,6 +246,40 @@ def resolve_protocol(
 
 
 # ---------------------------------------------------------------------------
+# Component-entry interpolation
+# ---------------------------------------------------------------------------
+
+
+def interpolate_params(value: Any, params: Mapping[str, Any]) -> Any:
+    """Resolve ``"$name"`` placeholder strings against ``params``, recursively.
+
+    Component entries on a scenario spec are static data, but their
+    parameters often need to follow the sweep ("inject at the swept rate"):
+    a string value ``"$faults_per_minute"`` is replaced by the cell's
+    parameter of that name.  Unknown placeholders are configuration errors;
+    ``"$$x"`` escapes to the literal string ``"$x"``.
+    """
+    if isinstance(value, str):
+        if value.startswith("$$"):
+            return value[1:]
+        if value.startswith("$"):
+            key = value[1:]
+            if key not in params:
+                known = ", ".join(sorted(params))
+                raise ConfigurationError(
+                    f"component parameter references unknown cell parameter "
+                    f"{value!r} (cell parameters: {known})"
+                )
+            return params[key]
+        return value
+    if isinstance(value, Mapping):
+        return {k: interpolate_params(v, params) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [interpolate_params(v, params) for v in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
 # The execution core
 # ---------------------------------------------------------------------------
 
@@ -236,12 +292,20 @@ def execute_benchmark(
     protocol_overrides: Mapping[str, Any] | None = None,
     seed: int = 0,
     horizon: float = 4000.0,
+    components: Sequence[Any] = (),
 ) -> RunReport:
     """Run the §5.1 synthetic benchmark once over the declared pieces.
 
     Build the platform, start it, launch the workload on the client, arm the
-    fault plan, run to completion (with the ``horizon`` safety deadline) and
+    fault plan and the extra ``components`` (instances, registered names, or
+    ``{"name": ..., "params": ...}`` entries from a spec's ``components:``
+    list), run to completion (with the ``horizon`` safety deadline) and
     report the numbers the paper plots.
+
+    Extra components join *after* the workload process is spawned — the same
+    lifecycle slot the fault plan has always used — so a scenario migrated
+    from fault-plan keywords to a ``components:`` entry replays the exact
+    same event sequence.
 
     ``protocol=None`` keeps the platform's own defaults (the confined cluster
     replicates every 5 s, the Internet testbed every 60 s); overrides are then
@@ -261,11 +325,13 @@ def execute_benchmark(
     bench = workload.build()
     process = grid.run_process(bench.run(grid.client), name="synthetic-benchmark")
     injector = faults.arm(grid)
+    extras = [grid.add_component(entry) for entry in components]
 
     finished = grid.run_until(process, timeout=horizon)
-    if injector is not None:
-        injector.stop()
+    grid.stop()
 
+    injected = injector.injected if injector else 0
+    injected += sum(int(getattr(extra, "injected", 0)) for extra in extras)
     makespan = bench.makespan if finished else grid.env.now
     ideal = workload.ideal_time / max(len(grid.servers), 1)
     overhead = (makespan - ideal) / ideal if ideal > 0 else 0.0
@@ -273,7 +339,7 @@ def execute_benchmark(
         makespan=makespan,
         submitted=len(bench.handles),
         completed=bench.completed_count(),
-        faults_injected=injector.injected if injector else 0,
+        faults_injected=injected,
         finished_in_time=finished,
         overhead_vs_ideal=overhead,
         ideal_time=ideal,
@@ -300,13 +366,44 @@ def benchmark_cell(
     protocol_preset: str | None = None,
     protocol_overrides: Mapping[str, Any] | None = None,
     horizon: float = 4000.0,
+    components: Sequence[Any] = (),
+    **component_params: Any,
 ) -> dict[str, Any]:
     """Flat-keyword cell kernel over :func:`execute_benchmark`.
 
     This is the measurement kernel shared by the Figure 7 sweep, the baseline
     ablation and the churn scenarios: every argument is a plain JSON-able
     value so it can sit directly on a spec's ``base`` or ``axes``.
+
+    ``components`` entries (``{"name": ..., "params": {...}}``) are resolved
+    through the platform registry; parameter values of the form ``"$key"``
+    are interpolated against this cell's own parameters, so swept axes can
+    drive component parameters (see Figure 7: the injection rate and target
+    tier are both axes).  Keywords the kernel does not know
+    (``component_params``) do not reach the benchmark at all — they exist so
+    a spec can declare extra base parameters or axes whose only purpose is
+    to be ``$``-interpolated into a component entry.
     """
+    cell_params = dict(
+        component_params,
+        seed=seed,
+        n_calls=n_calls,
+        exec_time=exec_time,
+        n_servers=n_servers,
+        n_coordinators=n_coordinators,
+        params_bytes=params_bytes,
+        result_bytes=result_bytes,
+        spread_servers=spread_servers,
+        fault_kind=fault_kind,
+        fault_target=fault_target,
+        faults_per_minute=faults_per_minute,
+        restart_delay=restart_delay,
+        mtbf=mtbf,
+        mttr=mttr,
+        permanent_fraction=permanent_fraction,
+        protocol_preset=protocol_preset,
+        horizon=horizon,
+    )
     report = execute_benchmark(
         topology=GridTopology(
             n_servers=n_servers,
@@ -332,5 +429,6 @@ def benchmark_cell(
         protocol_overrides=protocol_overrides,
         seed=seed,
         horizon=horizon,
+        components=interpolate_params(list(components), cell_params),
     )
     return report.outputs()

@@ -59,8 +59,6 @@ def _churn_survival() -> ScenarioSpec:
             exec_time=5.0,
             n_servers=8,
             n_coordinators=4,
-            fault_kind="churn",
-            fault_target="servers",
             mttr=20.0,
             permanent_fraction=0.05,
             horizon=6000.0,
@@ -68,6 +66,20 @@ def _churn_survival() -> ScenarioSpec:
         axes=(Axis("mtbf", (900.0, 300.0, 120.0, 60.0)),),
         seeds=(3, 5, 9),
         outputs=("makespan", "completed", "faults_injected", "overhead_vs_ideal"),
+        # The injector is a named platform component, not fault-plan keywords:
+        # the swept MTBF (and the repair/permanence knobs from base) reach it
+        # through $-interpolation against each cell's parameters.
+        components=(
+            {
+                "name": "inject.churn",
+                "params": {
+                    "target": "servers",
+                    "mtbf": "$mtbf",
+                    "mttr": "$mttr",
+                    "permanent_fraction": "$permanent_fraction",
+                },
+            },
+        ),
         scales={
             # Small enough for CI, volatile enough that departures do happen:
             # the ideal time (12 x 5 s / 2 servers = 30 s) spans several MTBFs.

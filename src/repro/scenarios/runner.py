@@ -18,7 +18,7 @@ import multiprocessing
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.scenarios.registry import get_scenario
@@ -53,6 +53,7 @@ class SweepRunner:
         axes: Mapping[str, Sequence[Any]] | None = None,
         params: Mapping[str, Any] | None = None,
         store: ResultsStore | None = None,
+        resume: bool = False,
     ) -> None:
         self.spec = get_scenario(spec) if isinstance(spec, str) else spec
         self.plan: SweepPlan = self.spec.resolve(
@@ -60,6 +61,11 @@ class SweepRunner:
         )
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.store = store
+        #: skip cells whose (spec hash, index, seed) already have a stored
+        #: checkpoint; requires a store.
+        self.resume = resume and store is not None
+        #: cells reused from checkpoints by the last :meth:`run` call.
+        self.resumed_cells = 0
 
     # ------------------------------------------------------------------- run
     def run(self, save: bool = False) -> RunResult:
@@ -67,17 +73,38 @@ class SweepRunner:
 
         With ``save=True`` (or a store passed at construction *and*
         ``save=True``) the artifact is written and its path recorded under
-        ``result.manifest["artifact"]``.
+        ``result.manifest["artifact"]``.  When a store is involved, each
+        finished cell is also checkpointed as it completes, so an
+        interrupted sweep can be picked up by a later ``resume=True`` run
+        of the same resolution without recomputing the finished cells.
         """
         cells = self.plan.cells()
+        spec_hash = self.spec.spec_hash(self.plan)
+        checkpointing = self.store is not None and (save or self.resume)
+        done: dict[tuple[int, int], tuple[dict[str, Any], float]] = {}
+        if self.resume:
+            stored = self.store.load_cells(self.spec.name, spec_hash)
+            keys = {(cell.index, cell.seed) for cell in cells}
+            done = {key: outcome for key, outcome in stored.items() if key in keys}
+        self.resumed_cells = len(done)
+
         started_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
         started = time.perf_counter()
-        parallel = self.jobs > 1 and len(cells) > 1
+        todo = [cell for cell in cells if (cell.index, cell.seed) not in done]
+        parallel = self.jobs > 1 and len(todo) > 1
         if parallel:
-            raw = self._run_parallel(cells)
-            parallel = raw is not None
+            fresh = self._run_parallel(todo, spec_hash if checkpointing else None)
+            parallel = fresh is not None
         if not parallel:
-            raw = [_execute_cell(self.spec.cell, cell.call_params) for cell in cells]
+            fresh = []
+            for cell in todo:
+                outcome = _execute_cell(self.spec.cell, cell.call_params)
+                if checkpointing:
+                    self._checkpoint(spec_hash, cell, outcome)
+                fresh.append(outcome)
+        for cell, outcome in zip(todo, fresh):
+            done[(cell.index, cell.seed)] = outcome
+        raw = [done[(cell.index, cell.seed)] for cell in cells]
         wall = time.perf_counter() - started
 
         results = [
@@ -118,21 +145,32 @@ class SweepRunner:
             figure=self.spec.figure,
             manifest=self.spec.manifest(self.plan),
         )
+        if self.resumed_cells:
+            result.manifest["resumed_cells"] = self.resumed_cells
         if save:
             store = self.store or ResultsStore()
             result.manifest["artifact"] = str(store.save(result))
         return result
 
+    def _checkpoint(
+        self, spec_hash: str, cell: SweepCell, outcome: tuple[dict[str, Any], float]
+    ) -> None:
+        outputs, cell_wall = outcome
+        self.store.save_cell(
+            self.spec.name, spec_hash, cell.index, cell.seed, outputs, cell_wall
+        )
+
     def _run_parallel(
-        self, cells: list[SweepCell]
+        self, cells: list[SweepCell], checkpoint_hash: str | None = None
     ) -> list[tuple[dict[str, Any], float]] | None:
         """Fan the cells out over a process pool; ``None`` → fall back.
 
-        Results come back in cell order regardless of completion order.  A
-        pool that cannot start (restricted sandboxes) or a cell that cannot
-        cross the process boundary (a non-module-level kernel) degrades to
-        the sequential path instead of failing the sweep; genuine cell
-        errors still propagate.
+        Results come back in cell order regardless of completion order (each
+        is checkpointed as its future completes when a checkpoint hash is
+        given).  A pool that cannot start (restricted sandboxes) or a cell
+        that cannot cross the process boundary (a non-module-level kernel)
+        degrades to the sequential path instead of failing the sweep;
+        genuine cell errors still propagate.
         """
         context = None
         if "fork" in multiprocessing.get_all_start_methods():
@@ -142,10 +180,27 @@ class SweepRunner:
             with ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(cells)), mp_context=context
             ) as pool:
-                futures = [
-                    pool.submit(_execute_cell, self.spec.cell, cell.call_params)
+                futures = {
+                    pool.submit(_execute_cell, self.spec.cell, cell.call_params): cell
                     for cell in cells
-                ]
+                }
+                if checkpoint_hash is not None:
+                    # Checkpoint every success even when some cell fails —
+                    # a resume after the failure must not recompute cells
+                    # that had already finished by the time it struck.
+                    first_error: BaseException | None = None
+                    for future in as_completed(futures):
+                        try:
+                            outcome = future.result()
+                        except (OSError, PermissionError, pickle.PicklingError,
+                                AttributeError):
+                            raise
+                        except BaseException as error:  # noqa: BLE001
+                            first_error = first_error or error
+                            continue
+                        self._checkpoint(checkpoint_hash, futures[future], outcome)
+                    if first_error is not None:
+                        raise first_error
                 return [future.result() for future in futures]
         except (OSError, PermissionError, pickle.PicklingError, AttributeError):
             return None
@@ -160,9 +215,10 @@ def run_scenario(
     params: Mapping[str, Any] | None = None,
     store: ResultsStore | None = None,
     save: bool = False,
+    resume: bool = False,
 ) -> RunResult:
     """One-call convenience over :class:`SweepRunner`."""
     return SweepRunner(
         spec, scale=scale, jobs=jobs, seeds=seeds, axes=axes, params=params,
-        store=store,
+        store=store, resume=resume,
     ).run(save=save)

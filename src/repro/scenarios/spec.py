@@ -101,6 +101,15 @@ class ScenarioSpec:
     #: replace that axis' values, the key ``seeds`` replaces the seed axis,
     #: anything else overrides ``base``.
     scales: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    #: extra platform components every cell instantiates: ``{"name":
+    #: "inject.churn", "params": {...}}`` entries resolved through
+    #: :mod:`repro.platform.registry`.  Parameter values of the form
+    #: ``"$key"`` are interpolated against the cell's merged parameters,
+    #: so swept axes can drive component parameters.  Folded into the cell
+    #: parameters as ``components`` at resolution time (the cell kernel must
+    #: accept that keyword — :func:`~repro.scenarios.engine.benchmark_cell`
+    #: does); a scale preset may override the list under the same key.
+    components: tuple[Mapping[str, Any], ...] = ()
     #: optional aggregation of cell results into the figure's rows.
     reduce: Callable[[list[CellResult]], list[dict[str, Any]]] | None = None
 
@@ -117,6 +126,23 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"scenario {self.name!r}: {sorted(overlap)} both fixed and swept"
             )
+        if self.components:
+            if "components" in self.base or "components" in axis_names:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} declares components both as a "
+                    "spec field and as a parameter"
+                )
+            normalised = []
+            for entry in self.components:
+                if not isinstance(entry, Mapping) or "name" not in entry:
+                    raise ConfigurationError(
+                        f"scenario {self.name!r}: component entries must be "
+                        "mappings with a 'name' key"
+                    )
+                normalised.append(
+                    {"name": entry["name"], "params": dict(entry.get("params") or {})}
+                )
+            object.__setattr__(self, "components", tuple(normalised))
 
     # ------------------------------------------------------------- resolution
     @property
@@ -137,6 +163,11 @@ class ScenarioSpec:
         ``axes``/``params``/``seeds`` arguments.
         """
         base = dict(self.base)
+        if self.components:
+            base["components"] = [
+                {"name": e["name"], "params": dict(e["params"])}
+                for e in self.components
+            ]
         axis_values = {axis.name: axis.values for axis in self.axes}
         plan_seeds = tuple(self.seeds)
 

@@ -82,6 +82,76 @@ class ResultsStore:
         path.write_text(json.dumps(result.to_json(), indent=2, default=str))
         return path
 
+    # ----------------------------------------------------------- cell resume
+    # One tiny JSON checkpoint per finished cell, keyed by the resolved
+    # spec hash: ``results/<scenario>/.cells/<spec_hash>/<index>-s<seed>.json``.
+    # A sweep interrupted mid-way leaves its finished cells here; a later
+    # run of the *same resolution* (same spec hash) picks them up instead of
+    # recomputing them (see ``SweepRunner(resume=True)`` / ``run --resume``).
+    # Checkpoints survive a completed run on purpose — resuming a finished
+    # sweep skips every cell, which is the cheap-rerun behaviour the CLI
+    # relies on — and they overwrite in place, so the footprint is bounded
+    # by (#distinct resolutions x #cells), not by the number of runs (the
+    # per-run artifacts above grow faster).
+
+    def cell_dir(self, scenario: str, spec_hash: str) -> Path:
+        """Checkpoint directory for one resolved sweep."""
+        return self.root / scenario / ".cells" / spec_hash
+
+    def save_cell(
+        self,
+        scenario: str,
+        spec_hash: str,
+        index: int,
+        seed: int,
+        outputs: dict[str, Any],
+        wall_seconds: float,
+    ) -> Path:
+        """Checkpoint one finished cell (atomic via rename; overwrites)."""
+        directory = self.cell_dir(scenario, spec_hash)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{index:05d}-s{seed}.json"
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "index": index,
+            "seed": seed,
+            "outputs": outputs,
+            "wall_seconds": wall_seconds,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, default=str))
+        tmp.replace(path)
+        return path
+
+    def load_cells(
+        self, scenario: str, spec_hash: str
+    ) -> dict[tuple[int, int], tuple[dict[str, Any], float]]:
+        """Checkpointed cells of one resolved sweep: (index, seed) -> outcome.
+
+        Unreadable or schema-mismatched checkpoints are ignored (a torn write
+        from an interrupted run must not poison the resume).
+        """
+        directory = self.cell_dir(scenario, spec_hash)
+        if not directory.exists():
+            return {}
+        cells: dict[tuple[int, int], tuple[dict[str, Any], float]] = {}
+        for path in sorted(directory.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if payload.get("schema") != SCHEMA_VERSION:
+                continue
+            try:
+                key = (int(payload["index"]), int(payload["seed"]))
+                cells[key] = (
+                    dict(payload["outputs"]),
+                    float(payload.get("wall_seconds", 0.0)),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+        return cells
+
     # ---------------------------------------------------------------- reading
     def load(self, path: str | Path) -> RunResult:
         """Load one artifact back."""

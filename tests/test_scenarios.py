@@ -218,6 +218,139 @@ class TestCli:
         assert "Stored runs" in capsys.readouterr().out
 
 
+def _fragile_cell(
+    seed: int = 0, x: int = 0, state_dir: str = "", fail_at: int | None = None,
+    **_: object,
+) -> dict:
+    """Countable kernel that fails at one axis point until a flag file appears.
+
+    Module-level so it can cross a process boundary; execution counts land in
+    per-cell files under ``state_dir`` (one line per execution).
+    """
+    from pathlib import Path
+
+    marker = Path(state_dir) / f"ran-{x}-s{seed}"
+    marker.write_text(marker.read_text() + "x" if marker.exists() else "x")
+    if fail_at == x and not (Path(state_dir) / "fixed").exists():
+        raise RuntimeError(f"cell x={x} blew up")
+    return {"y": 10 * x + seed}
+
+
+def _fragile_spec(tmp_path, fail_at=None) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fragile-sweep",
+        title="resume test sweep",
+        cell=_fragile_cell,
+        base=dict(state_dir=str(tmp_path), fail_at=fail_at),
+        axes=(Axis("x", (1, 2, 3)),),
+        seeds=(0, 1),
+    )
+
+
+class TestSweepResume:
+    def test_interrupted_sweep_resumes_without_recompute(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        spec = _fragile_spec(tmp_path, fail_at=3)
+        with pytest.raises(RuntimeError, match="blew up"):
+            SweepRunner(spec, jobs=1, store=store).run(save=True)
+        # Cells before the failure were checkpointed as they finished.
+        checkpointed = store.load_cells("fragile-sweep", spec.spec_hash())
+        assert {key for key in checkpointed} == {(0, 0), (1, 1), (2, 0), (3, 1)}
+
+        (tmp_path / "fixed").write_text("")  # same parameters, same spec hash
+        runner = SweepRunner(spec, jobs=1, store=store, resume=True)
+        result = runner.run(save=True)
+        assert runner.resumed_cells == 4
+        assert result.manifest["resumed_cells"] == 4
+        assert [row["y"] for row in result.rows] == [10, 11, 20, 21, 30, 31]
+        # Finished cells ran exactly once across both attempts; only the
+        # failing axis point (both seeds) ran twice.
+        runs = {
+            path.name: len(path.read_text())
+            for path in tmp_path.glob("ran-*")
+        }
+        assert runs == {
+            "ran-1-s0": 1, "ran-1-s1": 1, "ran-2-s0": 1, "ran-2-s1": 1,
+            "ran-3-s0": 2, "ran-3-s1": 1,
+        }
+
+    def test_parallel_failure_keeps_finished_checkpoints(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        spec = _fragile_spec(tmp_path, fail_at=2)
+        with pytest.raises(RuntimeError, match="blew up"):
+            SweepRunner(spec, jobs=3, store=store).run(save=True)
+        # Cells that completed before/alongside the failure were still
+        # checkpointed; only the failing axis point is absent.
+        # All submitted futures are drained before the error re-raises, so
+        # every non-failing cell is checkpointed (x=2 is cells 2 and 3).
+        checkpointed = store.load_cells("fragile-sweep", spec.spec_hash())
+        assert {index for index, _seed in checkpointed} == {0, 1, 4, 5}
+        (tmp_path / "fixed").write_text("")
+        runner = SweepRunner(spec, jobs=3, store=store, resume=True)
+        result = runner.run(save=True)
+        assert runner.resumed_cells == len(checkpointed)
+        assert [row["y"] for row in result.rows] == [10, 11, 20, 21, 30, 31]
+
+    def test_resume_ignores_other_resolutions(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        spec = _fragile_spec(tmp_path)
+        SweepRunner(spec, jobs=1, store=store).run(save=True)
+        # A different resolution (extra seed) has a different spec hash, so
+        # nothing is reused even with resume on.
+        runner = SweepRunner(
+            spec, jobs=1, store=store, resume=True, seeds=(0, 1, 2)
+        )
+        result = runner.run()
+        assert runner.resumed_cells == 0
+        assert len(result.cells) == 9
+
+    def test_resume_without_store_is_inert(self, tmp_path):
+        spec = _fragile_spec(tmp_path)
+        runner = SweepRunner(spec, jobs=1, resume=True)
+        assert not runner.resume
+        assert len(runner.run().cells) == 6
+
+
+class TestCliProtocolSelection:
+    def test_protocol_and_set_reach_the_kernel(self, tmp_path, capsys):
+        base = ["run", "churn-survival", "--scale", "tiny", "--jobs", "1",
+                "--out", str(tmp_path), "--quiet"]
+        assert main(base) == 0
+        assert main(base + ["--protocol", "no-replication"]) == 0
+        assert main(base + ["--set",
+                            "coordinator.replication.period=30"]) == 0
+        out = capsys.readouterr().out
+        hashes = {
+            line.split("spec ")[-1]
+            for line in out.splitlines() if "spec " in line
+        }
+        # Preset and override each resolve to a distinct spec hash.
+        assert len(hashes) == 3
+
+    def test_bad_preset_and_path_fail_fast(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown protocol preset"):
+            main(["run", "fig8", "--scale", "tiny", "--jobs", "1",
+                  "--out", str(tmp_path), "--protocol", "xtremweb"])
+        with pytest.raises(ConfigurationError, match="valid keys"):
+            main(["run", "fig8", "--scale", "tiny", "--jobs", "1",
+                  "--out", str(tmp_path), "--set", "coordinator.bogus=1"])
+
+    def test_kernels_without_protocol_are_skipped(self, tmp_path, capsys):
+        # fig8's bespoke durations kernel takes no protocol keywords.
+        code = main(["run", "fig8", "--scale", "tiny", "--jobs", "1",
+                     "--out", str(tmp_path), "--protocol", "no-replication"])
+        assert code == 0
+        assert "takes no protocol, skipping" in capsys.readouterr().out
+
+    def test_cli_resume_skips_checkpointed_cells(self, tmp_path, capsys):
+        base = ["run", "fig8", "--scale", "tiny", "--jobs", "1",
+                "--out", str(tmp_path), "--quiet"]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        assert "resumed" in capsys.readouterr().out
+
+
 class TestCoordinatorPreload:
     def _calls(self, n, params_bytes=256):
         return [
