@@ -13,9 +13,17 @@ same substrate by expressing each one as a protocol configuration:
 """
 
 from repro.baselines.presets import (
+    POLICY_BUNDLES,
     netsolve_style_protocol,
     no_fault_tolerance_protocol,
+    protocol_from_bundle,
     rpcv_protocol,
 )
 
-__all__ = ["netsolve_style_protocol", "no_fault_tolerance_protocol", "rpcv_protocol"]
+__all__ = [
+    "POLICY_BUNDLES",
+    "netsolve_style_protocol",
+    "no_fault_tolerance_protocol",
+    "protocol_from_bundle",
+    "rpcv_protocol",
+]

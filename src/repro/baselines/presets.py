@@ -1,43 +1,126 @@
-"""Protocol-configuration presets for the baseline systems."""
+"""Protocol presets for the baseline systems, as declarative policy bundles.
+
+Each baseline of the paper's comparison is a *bundle*: one ``policy.*``
+registry entry per decision axis (scheduling, replication, client logging).
+:func:`protocol_from_bundle` turns a bundle into a ready
+:class:`~repro.config.ProtocolConfig` — it records the entries on
+``protocol.policy`` (the authoritative selection the components resolve
+through :mod:`repro.policies`) *and* mirrors them onto the legacy tier-config
+flags (``replication.enabled``, ``reschedule_on_suspicion``,
+``logging.strategy``) so ``describe()`` and flag-reading code stay truthful.
+
+Bundles are plain data: copy one, swap an entry (or add ``params``), and a
+new protocol ablation needs no code — ``--set policy.scheduler=...`` on the
+CLI edits the same entries per run.
+"""
 
 from __future__ import annotations
 
-from repro.config import ProtocolConfig
-from repro.types import LoggingStrategy
+from typing import Any, Mapping
 
-__all__ = ["rpcv_protocol", "no_fault_tolerance_protocol", "netsolve_style_protocol"]
+from repro.config import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.policies.resolve import sync_policy_flags
+
+__all__ = [
+    "POLICY_BUNDLES",
+    "protocol_from_bundle",
+    "rpcv_protocol",
+    "no_fault_tolerance_protocol",
+    "netsolve_style_protocol",
+    "sync_policy_flags",
+]
+
+#: the three baseline systems of the paper's comparison, one bundle each.
+POLICY_BUNDLES: dict[str, dict[str, Any]] = {
+    # The full RPC-V configuration used throughout the experiments.
+    "rpc-v": {
+        "scheduler": {
+            "name": "policy.sched.fifo-reschedule",
+            "params": {"reschedule": True},
+        },
+        "replication": {
+            "name": "policy.repl.passive-periodic",
+            "params": {"period": 5.0},
+        },
+        "logging": {"name": "policy.log.pessimistic-nonblocking"},
+    },
+    # Ninf/RCS-style: no replication, no rescheduling, no durable client
+    # logs.  Submissions still reach the middle tier (the architecture is
+    # shared), but nothing protects the execution: a lost coordinator or
+    # server simply loses whatever it was holding until the application
+    # notices by itself.
+    "no-fault-tolerance": {
+        "scheduler": {
+            "name": "policy.sched.fifo-reschedule",
+            "params": {"reschedule": False},
+        },
+        "replication": {"name": "policy.repl.none"},
+        "logging": {"name": "policy.log.optimistic"},
+    },
+    # NetSolve-style: server fault tolerance only.  The agent (coordinator)
+    # reschedules RPCs when it suspects a server, but it is a single point
+    # of failure (no passive replication) and the client keeps no durable
+    # logs — "agent and client fault tolerance is not supported".
+    "netsolve-style": {
+        "scheduler": {
+            "name": "policy.sched.fifo-reschedule",
+            "params": {"reschedule": True},
+        },
+        "replication": {"name": "policy.repl.none"},
+        "logging": {"name": "policy.log.optimistic"},
+    },
+}
+
+
+def protocol_from_bundle(
+    bundle: Mapping[str, Any] | str, protocol: ProtocolConfig | None = None
+) -> ProtocolConfig:
+    """Build (or extend) a :class:`ProtocolConfig` from a policy bundle.
+
+    ``bundle`` is a mapping of ``scheduler`` / ``replication`` / ``logging``
+    to policy entries (name string or ``{"name", "params"}``), or the name
+    of a bundle in :data:`POLICY_BUNDLES`.
+    """
+    if isinstance(bundle, str):
+        try:
+            bundle = POLICY_BUNDLES[bundle]
+        except KeyError:
+            known = ", ".join(sorted(POLICY_BUNDLES))
+            raise ConfigurationError(
+                f"unknown policy bundle {bundle!r} (known: {known})"
+            ) from None
+    unknown = set(bundle) - {"scheduler", "replication", "logging"}
+    if unknown:
+        # Checked before anything is applied, so a typoed axis never leaves
+        # a passed-in protocol half-mutated.
+        raise ConfigurationError(
+            f"unknown policy bundle axes: {sorted(unknown)} "
+            "(expected scheduler/replication/logging)"
+        )
+    protocol = protocol or ProtocolConfig()
+    for axis in ("scheduler", "replication", "logging"):
+        entry = bundle.get(axis)
+        if entry is None:
+            continue
+        if isinstance(entry, str):
+            entry = {"name": entry}
+        name = entry["name"]
+        params = dict(entry.get("params") or {})
+        setattr(protocol.policy, axis, {"name": name, "params": params})
+    return sync_policy_flags(protocol).validate()
 
 
 def rpcv_protocol() -> ProtocolConfig:
     """The full RPC-V configuration used throughout the experiments."""
-    protocol = ProtocolConfig()
-    protocol.coordinator.replication.period = 5.0
-    return protocol.validate()
+    return protocol_from_bundle("rpc-v")
 
 
 def no_fault_tolerance_protocol() -> ProtocolConfig:
-    """Ninf/RCS-style: no replication, no rescheduling, no durable client logs.
-
-    Submissions still reach the middle tier (the architecture is shared), but
-    nothing protects the execution: a lost coordinator or server simply loses
-    whatever it was holding until the application notices by itself.
-    """
-    protocol = ProtocolConfig()
-    protocol.coordinator.replication.enabled = False
-    protocol.coordinator.scheduler.reschedule_on_suspicion = False
-    protocol.client.logging.strategy = LoggingStrategy.OPTIMISTIC
-    return protocol.validate()
+    """Ninf/RCS-style: no replication, no rescheduling, no durable client logs."""
+    return protocol_from_bundle("no-fault-tolerance")
 
 
 def netsolve_style_protocol() -> ProtocolConfig:
-    """NetSolve-style: server fault tolerance only.
-
-    The agent (coordinator) reschedules RPCs when it suspects a server, but it
-    is a single point of failure (no passive replication) and the client keeps
-    no durable logs — "agent and client fault tolerance is not supported".
-    """
-    protocol = ProtocolConfig()
-    protocol.coordinator.replication.enabled = False
-    protocol.coordinator.scheduler.reschedule_on_suspicion = True
-    protocol.client.logging.strategy = LoggingStrategy.OPTIMISTIC
-    return protocol.validate()
+    """NetSolve-style: server fault tolerance only."""
+    return protocol_from_bundle("netsolve-style")

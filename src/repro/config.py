@@ -13,7 +13,7 @@ paper states its experimental settings:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
 from repro.types import LoggingStrategy
@@ -21,6 +21,7 @@ from repro.types import LoggingStrategy
 __all__ = [
     "FaultDetectionConfig",
     "LoggingConfig",
+    "PolicyConfig",
     "ReplicationConfig",
     "SchedulerConfig",
     "ClientConfig",
@@ -192,17 +193,80 @@ class ServerConfig:
 
 
 @dataclass
+class PolicyConfig:
+    """Registry-resolved strategy selection (the ``policy.*`` component keys).
+
+    Each entry is ``None`` (derive the equivalent built-in from the legacy
+    tier-config flags), a registry key / dotted-path string such as
+    ``"policy.sched.random"``, or a ``{"name": ..., "params": {...}}``
+    mapping.  Resolution lives in :mod:`repro.policies.resolve`; this class
+    only carries the selection, so it stays importable without the policy
+    implementations.
+    """
+
+    #: coordinator scheduling policy (``policy.sched.*``).
+    scheduler: Any = None
+    #: coordinator replication policy (``policy.repl.*``).
+    replication: Any = None
+    #: client logging policy (``policy.log.*``).
+    logging: Any = None
+
+    def entries(self) -> dict[str, Any]:
+        """The explicitly-set entries, by field name."""
+        return {
+            name: value
+            for name, value in (
+                ("scheduler", self.scheduler),
+                ("replication", self.replication),
+                ("logging", self.logging),
+            )
+            if value is not None
+        }
+
+    @staticmethod
+    def _check(label: str, entry: Any) -> None:
+        if entry is None:
+            return
+        if isinstance(entry, str):
+            if not entry:
+                raise ConfigurationError(f"policy.{label} must be a non-empty name")
+            return
+        if isinstance(entry, Mapping):
+            if not entry.get("name"):
+                raise ConfigurationError(
+                    f"policy.{label} mapping needs a 'name' key"
+                )
+            return
+        raise ConfigurationError(
+            f"policy.{label} must be a name or a {{'name', 'params'}} mapping, "
+            f"got {entry!r}"
+        )
+
+    def validate(self) -> None:
+        for label, entry in (
+            ("scheduler", self.scheduler),
+            ("replication", self.replication),
+            ("logging", self.logging),
+        ):
+            self._check(label, entry)
+
+
+@dataclass
 class ProtocolConfig:
     """The full protocol parameter set shared by a scenario."""
 
     client: ClientConfig = field(default_factory=ClientConfig)
     coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
     server: ServerConfig = field(default_factory=ServerConfig)
+    #: explicit ``policy.*`` selections; ``None`` entries fall back to the
+    #: equivalent built-ins derived from the flags above.
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
 
     def validate(self) -> "ProtocolConfig":
         self.client.validate()
         self.coordinator.validate()
         self.server.validate()
+        self.policy.validate()
         return self
 
     def with_logging_strategy(self, strategy: LoggingStrategy) -> "ProtocolConfig":
@@ -214,12 +278,24 @@ class ProtocolConfig:
 
     def describe(self) -> dict[str, Any]:
         """A flat, printable description used by experiment reports."""
-        return {
+        scheduler_entry = self.policy.scheduler
+        if isinstance(scheduler_entry, dict):
+            scheduler_policy = scheduler_entry.get("name")
+        else:
+            # A set entry names the effective ordering; the legacy flag only
+            # ever holds "fcfs".
+            scheduler_policy = scheduler_entry or self.coordinator.scheduler.policy
+        description = {
             "logging_strategy": self.client.logging.strategy.value,
             "heartbeat_period": self.coordinator.detection.heartbeat_period,
             "suspicion_timeout": self.coordinator.detection.suspicion_timeout,
             "replication_period": self.coordinator.replication.period,
             "replication_enabled": self.coordinator.replication.enabled,
-            "scheduler_policy": self.coordinator.scheduler.policy,
+            "scheduler_policy": scheduler_policy,
             "result_poll_period": self.client.result_poll_period,
         }
+        for label, entry in self.policy.entries().items():
+            description[f"policy.{label}"] = (
+                entry if isinstance(entry, str) else dict(entry)
+            )
+        return description

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.config import ClientConfig
+from repro.config import ClientConfig, PolicyConfig
 from repro.core.protocol import (
     CallDescription,
     ResultRecord,
@@ -38,6 +38,7 @@ from repro.errors import RPCTimeout, SessionError
 from repro.msglog import GarbageCollector, LoggingEngine, MessageLog
 from repro.net.message import Message, MessageType
 from repro.nodes.node import Host
+from repro.policies.resolve import logging_policy_from
 from repro.sim.core import Event, ProcessKilled
 from repro.sim.monitor import Monitor
 from repro.types import Address, CallIdentity, RPCStatus
@@ -84,6 +85,7 @@ class ClientComponent:
         registry: CoordinatorRegistry,
         config: ClientConfig | None = None,
         monitor: Monitor | None = None,
+        policies: PolicyConfig | None = None,
     ) -> None:
         self.host = host
         self.env = host.env
@@ -92,6 +94,9 @@ class ClientComponent:
         self.config = config or ClientConfig()
         self.config.validate()
         self.monitor = monitor or host.monitor
+        #: explicit ``policy.*`` selections; ``None`` entries derive the
+        #: built-in equivalent from the logging strategy flag.
+        self.policies = policies or PolicyConfig()
 
         # Volatile protocol state (rebuilt by start()).
         self.log: MessageLog
@@ -111,7 +116,13 @@ class ClientComponent:
     # ------------------------------------------------------------------ setup
     def _init_volatile(self) -> None:
         self.log = MessageLog(self.host, f"client:{self.session.session_id}")
-        self.logging = LoggingEngine(self.host, self.log, self.config.logging)
+        policy = logging_policy_from(self.config.logging, self.policies.logging)
+        policy.bind(
+            owner=str(self.host.address), rng=self.host.rng, monitor=self.monitor
+        )
+        self.logging = LoggingEngine(
+            self.host, self.log, self.config.logging, policy=policy
+        )
         self.gc = GarbageCollector(self.log, self.config.logging)
         self.detector = FailureDetector(self.config.detection)
         self.handles = {}
@@ -515,5 +526,6 @@ class ClientComponent:
             "log_records": len(self.log),
             "log_bytes": self.log.total_bytes(),
             "logging_overhead": self.logging.blocking_overhead,
+            "logging_policy": self.logging.policy.key,
             "preferred_coordinator": str(self.preferred_coordinator()),
         }

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.config import CoordinatorConfig
+from repro.config import CoordinatorConfig, PolicyConfig
 from repro.core.protocol import (
     CallDescription,
     ResultRecord,
@@ -36,8 +36,8 @@ from repro.core.protocol import (
 )
 from repro.core.registry import CoordinatorRegistry
 from repro.core.replication import ReplicaState, build_state, merge_state
-from repro.core.scheduler import FcfsScheduler
 from repro.core.synchronization import plan_client_sync, plan_server_sync
+from repro.policies.resolve import replication_policy_from, scheduler_policy_from
 from repro.detect import FailureDetector, HeartbeatEmitter
 from repro.net.message import Message, MessageType
 from repro.nodes.database import Database, DatabaseModel
@@ -59,6 +59,7 @@ class CoordinatorComponent:
         config: CoordinatorConfig | None = None,
         monitor: Monitor | None = None,
         database_model: DatabaseModel | None = None,
+        policies: PolicyConfig | None = None,
     ) -> None:
         self.host = host
         self.env = host.env
@@ -67,6 +68,9 @@ class CoordinatorComponent:
         self.config.validate()
         self.monitor = monitor or host.monitor
         self.name = str(host.address)
+        #: explicit ``policy.*`` selections; ``None`` entries derive the
+        #: built-in equivalent from the legacy config flags.
+        self.policies = policies or PolicyConfig()
 
         # Persistent state (survives crashes).
         persistent = host.persistent
@@ -80,7 +84,8 @@ class CoordinatorComponent:
         )
 
         # Volatile state (rebuilt by start()).
-        self.scheduler = FcfsScheduler(self.config.scheduler)
+        self.scheduler = self._make_scheduler()
+        self.replication_policy = self._make_replication_policy()
         self.server_detector = FailureDetector(self.config.detection)
         self.coordinator_detector = FailureDetector(self.config.detection)
         self.known_servers: set[Address] = set()
@@ -102,9 +107,22 @@ class CoordinatorComponent:
         """Component lifecycle hook: the grid tier wiring already bound
         everything this coordinator needs."""
 
+    def _make_scheduler(self):
+        """Fresh scheduling policy for one incarnation (bound to this host)."""
+        policy = scheduler_policy_from(self.config.scheduler, self.policies.scheduler)
+        return policy.bind(owner=self.name, rng=self.host.rng, monitor=self.monitor)
+
+    def _make_replication_policy(self):
+        """Fresh replication policy for one incarnation (bound to this host)."""
+        policy = replication_policy_from(
+            self.config.replication, self.policies.replication
+        )
+        return policy.bind(owner=self.name, rng=self.host.rng, monitor=self.monitor)
+
     def start(self) -> None:
         """(Re)start the coordinator's loops; persistent state is already here."""
-        self.scheduler = FcfsScheduler(self.config.scheduler)
+        self.scheduler = self._make_scheduler()
+        self.replication_policy = self._make_replication_policy()
         self.server_detector = FailureDetector(self.config.detection)
         self.coordinator_detector = FailureDetector(self.config.detection)
         self.known_servers = set()
@@ -118,8 +136,7 @@ class CoordinatorComponent:
             self._coord_heartbeat.stop()
         self.host.spawn(self._recv_loop(), name=f"{self.name}:recv")
         self.host.spawn(self._server_watch_loop(), name=f"{self.name}:server-watch")
-        if self.config.replication.enabled:
-            self.host.spawn(self._replication_loop(), name=f"{self.name}:replication")
+        self.replication_policy.install(self)
         # Periodic heart-beats to every other coordinator: this is how stale
         # suspicions get cleared ("the list is ... merged periodically, at
         # heart beat signal receptions") so the virtual ring heals after
@@ -145,6 +162,11 @@ class CoordinatorComponent:
         return self.host.address
 
     # ------------------------------------------------------------------ helpers
+    def _mark_dirty(self, key: tuple) -> None:
+        """Queue ``key`` for the next state propagation (policy notified)."""
+        self._dirty.add(key)
+        self.replication_policy.on_dirty(self, key)
+
     def preload_tasks(
         self, calls: "list[CallDescription]", state: TaskState = TaskState.PENDING
     ) -> list[tuple]:
@@ -166,7 +188,7 @@ class CoordinatorComponent:
                 owner=self.name,
                 submitted_at=self.env.now,
             )
-            self._dirty.add(key)
+            self._mark_dirty(key)
             self.database.charge_write(key, {"state": state.value}, call.params_bytes)
             keys.append(key)
         return keys
@@ -277,7 +299,7 @@ class CoordinatorComponent:
                 submitted_at=self.env.now,
             )
             self.tasks[key] = record
-            self._dirty.add(key)
+            self._mark_dirty(key)
             cost = self.database.charge_write(
                 key, {"state": record.state.value}, TASK_DESCRIPTION_BYTES + call.params_bytes
             )
@@ -385,7 +407,7 @@ class CoordinatorComponent:
             return
         task = decision.task
         key = identity_to_key(task.identity)
-        self._dirty.add(key)
+        self._mark_dirty(key)
         self._task_activity[key] = self.env.now
         cost = self.database.charge_write(
             key, {"state": task.state.value}, TASK_DESCRIPTION_BYTES
@@ -433,7 +455,7 @@ class CoordinatorComponent:
         task.assigned_server = server
         if key not in self.results:
             self.results[key] = result
-        self._dirty.add(key)
+        self._mark_dirty(key)
         cost = self.database.charge_write(key, {"state": "finished"}, TASK_DESCRIPTION_BYTES)
         yield from self._charge(cost)
         # Storing the archive costs a disk write proportional to its size.
@@ -468,7 +490,7 @@ class CoordinatorComponent:
             if task is not None and task.state is TaskState.ONGOING:
                 task.state = TaskState.PENDING
                 task.assigned_server = None
-                self._dirty.add(tuple(key))
+                self._mark_dirty(tuple(key))
         self.host.send(
             message.reply(
                 MessageType.COORD_SYNC_REPLY,
@@ -548,14 +570,9 @@ class CoordinatorComponent:
                 task.has_archive = True
 
     # --------------------------------------------------------------- replication
-    def _replication_loop(self):
-        try:
-            while True:
-                yield self.host.sleep(self.config.replication.period)
-                yield from self.replicate_once()
-        except ProcessKilled:  # pragma: no cover - host crash
-            return
-
+    # The cadence (when rounds happen) lives in the replication policy
+    # (policy.repl.*, installed by start()); this is the mechanism one round
+    # runs through.
     def replicate_once(self, force_full: bool = False):
         """One replication round: push (dirty) state to the ring successor.
 
@@ -626,7 +643,7 @@ class CoordinatorComponent:
         # Everything we learned must keep flowing around the ring, otherwise
         # coordinators two hops away from the origin would never hear of it.
         for key in [identity_to_key(i) for i in outcome.changed]:
-            self._dirty.add(key)
+            self._mark_dirty(key)
         if outcome.newly_finished:
             self.monitor.incr(
                 "coordinator.replicated_completions", len(outcome.newly_finished)
@@ -662,7 +679,7 @@ class CoordinatorComponent:
                         )
                         if reset:
                             for record in reset:
-                                self._dirty.add(identity_to_key(record.identity))
+                                self._mark_dirty(identity_to_key(record.identity))
                             self.monitor.incr(
                                 "coordinator.rescheduled_on_suspicion", len(reset)
                             )
@@ -679,7 +696,7 @@ class CoordinatorComponent:
                     if now - last_activity > timeout:
                         task.state = TaskState.PENDING
                         task.assigned_server = None
-                        self._dirty.add(key)
+                        self._mark_dirty(key)
                         self.monitor.incr("coordinator.requeued_on_activity_timeout")
         except ProcessKilled:  # pragma: no cover - host crash
             return
@@ -700,4 +717,8 @@ class CoordinatorComponent:
             "db_writes": self.database.writes,
             "db_time": self.database.time_charged,
             "dirty": len(self._dirty),
+            "scheduler_policy": self.scheduler.key,
+            "scheduler_assignments": self.scheduler.assignments,
+            "scheduler_dedup_holds": self.scheduler.dedup_holds,
+            "replication_policy": self.replication_policy.key,
         }

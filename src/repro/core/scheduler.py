@@ -1,130 +1,32 @@
-"""Coordinator-side scheduling.
+"""Coordinator-side scheduling — compatibility facade.
 
-The paper's coordinator uses "a basic first-come first-serve scheduling
-policy" together with a simple replica-coordination scheme that prevents most
-duplicate executions when several server partitions talk to different
-coordinators:
+The scheduling implementations moved to :mod:`repro.policies.scheduling`
+(the ``policy.sched.*`` component family); this module keeps the historical
+import surface alive:
 
-* **finished** tasks are never scheduled by a coordinator replica;
-* **ongoing** tasks are not scheduled until the replica suspects the
-  disconnection of its predecessor (the coordinator that assigned them);
-* **pending** tasks are scheduled.
-
-Scheduling is pull-based (servers request work), so "scheduling" here means
-answering one server's work request with the most appropriate pending task.
-Duplicated executions remain possible under asynchrony; the protocol's
-at-least-once semantics makes that safe.
+* :class:`SchedulingDecision` re-exports unchanged;
+* :class:`FcfsScheduler` is the paper's first-come first-served policy
+  (:class:`~repro.policies.scheduling.FifoReschedulePolicy`) behind its
+  original :class:`~repro.config.SchedulerConfig`-driven constructor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
-
 from repro.config import SchedulerConfig
-from repro.core.protocol import TaskRecord
-from repro.errors import SchedulingError
-from repro.types import Address, TaskState
+from repro.policies.scheduling import FifoReschedulePolicy, SchedulingDecision
 
 __all__ = ["FcfsScheduler", "SchedulingDecision"]
 
 
-@dataclass
-class SchedulingDecision:
-    """Outcome of one work request."""
+class FcfsScheduler(FifoReschedulePolicy):
+    """First-come first-served scheduler with the replica de-duplication policy.
 
-    task: TaskRecord | None
-    reason: str = ""
+    The historical config-driven constructor: ``reschedule`` comes from
+    ``config.reschedule_on_suspicion`` and the config is validated (an
+    unknown ``policy`` string raises, as it always has).
+    """
 
-
-@dataclass
-class FcfsScheduler:
-    """First-come first-served scheduler with the replica de-duplication policy."""
-
-    config: SchedulerConfig = field(default_factory=SchedulerConfig)
-    #: how many assignments this scheduler has made (reporting).
-    assignments: int = 0
-    #: how many times the de-duplication policy withheld an ongoing task.
-    dedup_holds: int = 0
-
-    def __post_init__(self) -> None:
+    def __init__(self, config: SchedulerConfig | None = None) -> None:
+        self.config = config or SchedulerConfig()
         self.config.validate()
-
-    def eligible_tasks(
-        self,
-        tasks: dict[object, TaskRecord],
-        my_name: str,
-        owner_suspected: Callable[[str], bool],
-    ) -> list[TaskRecord]:
-        """Tasks this coordinator may hand out right now, FCFS-ordered."""
-        eligible: list[TaskRecord] = []
-        for record in tasks.values():
-            if record.state is TaskState.FINISHED:
-                continue
-            if record.state is TaskState.PENDING:
-                eligible.append(record)
-                continue
-            # ONGOING: only reschedulable when the coordinator that assigned
-            # it (a different one) is suspected, or when it was assigned by us
-            # to a server we have since declared suspect (that transition is
-            # done by the coordinator's monitor loop, which resets the task to
-            # PENDING, so it is not handled here).
-            if record.owner != my_name and owner_suspected(record.owner):
-                eligible.append(record)
-            else:
-                self.dedup_holds += 1
-        eligible.sort(key=self._fcfs_key)
-        return eligible
-
-    def pick(
-        self,
-        tasks: dict[object, TaskRecord],
-        server: Address,
-        my_name: str,
-        owner_suspected: Callable[[str], bool],
-        now: float,
-    ) -> SchedulingDecision:
-        """Answer one work request from ``server``."""
-        if self.config.policy != "fcfs":  # pragma: no cover - guarded by validate()
-            raise SchedulingError(f"unsupported policy {self.config.policy!r}")
-        eligible = self.eligible_tasks(tasks, my_name, owner_suspected)
-        if not eligible:
-            return SchedulingDecision(task=None, reason="no eligible task")
-        task = eligible[0]
-        task.state = TaskState.ONGOING
-        task.owner = my_name
-        task.assigned_server = server
-        task.attempts += 1
-        task.started_at = now
-        self.assignments += 1
-        return SchedulingDecision(task=task, reason="fcfs")
-
-    @staticmethod
-    def _fcfs_key(record: TaskRecord) -> tuple:
-        return (
-            record.submitted_at,
-            record.call.identity.user.value,
-            record.call.identity.session.value,
-            record.call.identity.rpc.value,
-        )
-
-    def reschedule_for_suspected_server(
-        self, tasks: dict[object, TaskRecord], server: Address, my_name: str
-    ) -> list[TaskRecord]:
-        """"On suspicion" replication: re-queue every ongoing task of ``server``.
-
-        Returns the tasks that were reset to PENDING.
-        """
-        if not self.config.reschedule_on_suspicion:
-            return []
-        reset: list[TaskRecord] = []
-        for record in tasks.values():
-            if (
-                record.state is TaskState.ONGOING
-                and record.assigned_server == server
-                and record.owner == my_name
-            ):
-                record.state = TaskState.PENDING
-                record.assigned_server = None
-                reset.append(record)
-        return reset
+        super().__init__(reschedule=self.config.reschedule_on_suspicion)

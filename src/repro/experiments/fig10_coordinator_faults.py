@@ -21,13 +21,76 @@ from __future__ import annotations
 from typing import Any
 
 from repro.experiments.fig9_reference import completion_curve_rows, run_alcatel_campaign
-from repro.grid.builder import Grid
+from repro.platform.registry import create_component
 from repro.scenarios.registry import scenario
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import ScenarioSpec
-from repro.workloads.alcatel import AlcatelWorkload
 
-__all__ = ["run_fig10"]
+__all__ = ["coordinator_fault_steps", "run_fig10"]
+
+
+def coordinator_fault_steps(
+    n_tasks: int,
+    kill_lille_fraction: float = 0.4,
+    kill_orsay_fraction: float = 0.75,
+    lille_restart_delay: float = 180.0,
+    replication_period: float = 60.0,
+) -> list[dict[str, Any]]:
+    """The labelled Figure 10 timetable as declarative ``inject.script`` steps."""
+    return [
+        {"do": "note", "label": 1, "note": "coordinators started"},
+        # Label 2: kill Lille once ~40% of the tasks are completed there.
+        {
+            "until": {
+                "kind": "finished-count",
+                "coordinator": "lille",
+                "at_least": kill_lille_fraction * n_tasks,
+            },
+            "poll": 10.0,
+            "do": "kill",
+            "target": "coordinator:lille",
+            "label": 2,
+            "note": "lille killed",
+        },
+        # Label 6: restart Lille after the servers had time to fail over.
+        {
+            "after": lille_restart_delay,
+            "do": "restart",
+            "target": "coordinator:lille",
+            "label": 6,
+            "note": "lille restarted",
+        },
+        # Label 7: wait until Lille's view is close to Orsay's again (passive
+        # replication catching up), then one more replication period.
+        {
+            "until": {
+                "kind": "caught-up",
+                "coordinator": "lille",
+                "reference": "orsay",
+                "margin": max(5, n_tasks // 50),
+            },
+            "poll": 10.0,
+            "do": "note",
+            "label": 7,
+            "note": "lille caught up",
+        },
+        {"after": replication_period},
+        # Label 8: kill LRI/Orsay once enough of the campaign has completed.
+        # The campaign must terminate using the Lille coordinator (label 10);
+        # Orsay stays down for the remainder of the run.
+        {
+            "until": {
+                "kind": "finished-count",
+                "coordinator": "orsay",
+                "at_least": kill_orsay_fraction * n_tasks,
+            },
+            "poll": 10.0,
+            "do": "kill",
+            "target": "coordinator:orsay",
+            "label": 8,
+            "note": "orsay killed",
+        },
+    ]
 
 
 def coordinator_faults_cell(
@@ -39,51 +102,37 @@ def coordinator_faults_cell(
     seed: int = 0,
     **kwargs: Any,
 ) -> dict[str, Any]:
-    """Run the two-consecutive-coordinator-faults scenario."""
-    events: list[dict[str, Any]] = []
+    """Run the two-consecutive-coordinator-faults scenario.
 
-    def driver(grid: Grid, workload: AlcatelWorkload):
-        lille = grid.coordinator_by_name("lille")
-        orsay = grid.coordinator_by_name("orsay")
-        lille_host = grid.host_of(lille)
-        orsay_host = grid.host_of(orsay)
-        period = grid.spec.protocol.coordinator.replication.period
-        events.append({"label": 1, "event": "coordinators started", "time": grid.env.now})
-
-        # Label 2: kill Lille once ~40% of the tasks are completed there.
-        while lille.finished_count() < kill_lille_fraction * n_tasks:
-            yield grid.env.timeout(10.0)
-        lille_host.crash(cause="fig10-kill-lille")
-        events.append({"label": 2, "event": "lille killed", "time": grid.env.now})
-
-        # Label 6: restart Lille after the servers had time to fail over.
-        yield grid.env.timeout(lille_restart_delay)
-        lille_host.restart()
-        events.append({"label": 6, "event": "lille restarted", "time": grid.env.now})
-
-        # Label 7: wait until Lille's view is close to Orsay's again (passive
-        # replication catching up), then one more replication period.
-        while lille.finished_count() < orsay.finished_count() - max(5, n_tasks // 50):
-            yield grid.env.timeout(10.0)
-        events.append({"label": 7, "event": "lille caught up", "time": grid.env.now})
-        yield grid.env.timeout(period)
-
-        # Label 8: kill LRI/Orsay once enough of the campaign has completed.
-        while orsay.finished_count() < kill_orsay_fraction * n_tasks:
-            yield grid.env.timeout(10.0)
-        orsay_host.crash(cause="fig10-kill-orsay")
-        events.append({"label": 8, "event": "orsay killed", "time": grid.env.now})
-        # The campaign must terminate using the Lille coordinator (label 10);
-        # Orsay stays down for the remainder of the run.
-
+    The scripted faults are an ``inject.script`` component entry (its
+    condition-triggered ``steps`` form), armed in the driver slot — no
+    callback touches the grid.
+    """
+    # One value feeds both the campaign's protocol and the post-catch-up
+    # wait of the script, so the timetable cannot drift from the actual
+    # replication cadence.
+    replication_period = kwargs.pop("replication_period", 60.0)
+    script = create_component(
+        "inject.script",
+        {
+            "steps": coordinator_fault_steps(
+                n_tasks=n_tasks,
+                kill_lille_fraction=kill_lille_fraction,
+                kill_orsay_fraction=kill_orsay_fraction,
+                lille_restart_delay=lille_restart_delay,
+                replication_period=replication_period,
+            )
+        },
+    )
     result = run_alcatel_campaign(
         n_tasks=n_tasks,
         servers_per_site=servers_per_site,
         seed=seed,
-        driver=driver,
+        replication_period=replication_period,
+        driver_components=[script],
         **kwargs,
     )
-    result["events"] = events
+    result["events"] = script.recorded
     result["tolerated_two_coordinator_faults"] = (
         result["finished_in_time"] and result["completed"] >= result["submitted"]
     )

@@ -19,13 +19,62 @@ from __future__ import annotations
 from typing import Any
 
 from repro.experiments.fig9_reference import completion_curve_rows, run_alcatel_campaign
-from repro.grid.builder import Grid
+from repro.platform.component import BaseComponent
+from repro.platform.registry import create_component
 from repro.scenarios.registry import scenario
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.types import Address, ComponentKind
 
-__all__ = ["run_fig11"]
+__all__ = ["PartitionedViews", "run_fig11"]
+
+
+class PartitionedViews(BaseComponent):
+    """Force the mutually inconsistent registry views of Figure 11.
+
+    Servers only know (and prefer) one coordinator; clients only know the
+    other.  The network-level isolation is *not* this component's job — a
+    ``net.partition-schedule`` entry carries the hide rules — this one only
+    rewrites the components' local coordinator lists, the paper's "finite
+    list of known coordinators" each party downloaded.
+
+    An experiment-local component resolved by dotted path
+    (``repro.experiments.fig11_partition:PartitionedViews``): one-off pieces
+    ship with their experiment instead of joining the platform library.
+    """
+
+    def __init__(
+        self,
+        client_coordinator: str = "lille",
+        server_coordinator: str = "orsay",
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or "partitioned-views")
+        self.client_coordinator = client_coordinator
+        self.server_coordinator = server_coordinator
+        #: the paper's progress condition, evaluated once the views (and any
+        #: partition rules registered before this component) are in force.
+        self.progress_condition_held: bool | None = None
+
+    def setup(self, builder) -> None:
+        grid = builder.grid
+        for_servers = Address(ComponentKind.COORDINATOR.value, self.server_coordinator)
+        for_clients = Address(ComponentKind.COORDINATOR.value, self.client_coordinator)
+        for server in grid.servers:
+            server.registry.coordinators = [for_servers]
+            server.registry.suspected.clear()
+            server.registry.set_preferred(for_servers)
+        for client in grid.clients:
+            client.registry.coordinators = [for_clients]
+            client.registry.suspected.clear()
+            client.registry.set_preferred(for_clients)
+        self._grid = grid
+
+    def start(self) -> None:
+        # Start order is registration order, so the partition schedule ahead
+        # of this component has installed its hide rules by now; nothing has
+        # run yet (the environment only advances after the grid is started).
+        self.progress_condition_held = self._grid.progress_condition_holds()
 
 
 def partition_cell(
@@ -34,36 +83,38 @@ def partition_cell(
     seed: int = 0,
     **kwargs: Any,
 ) -> dict[str, Any]:
-    """Run the partitioned-views scenario and compare against the reference."""
-    lille = Address(ComponentKind.COORDINATOR.value, "lille")
-    orsay = Address(ComponentKind.COORDINATOR.value, "orsay")
-    progress_holds: dict[str, bool] = {}
+    """Run the partitioned-views scenario and compare against the reference.
 
-    def prepare(grid: Grid) -> None:
-        # Servers: hide Lille entirely (list reduced to LRI/Orsay, and the
-        # network refuses server<->Lille exchanges to make the view airtight).
-        for server in grid.servers:
-            server.registry.coordinators = [orsay]
-            server.registry.suspected.clear()
-            server.registry.set_preferred(orsay)
-            grid.partitions.hide_bidirectional(server.address, lille)
-        # Client: forced to submit to Lille only.
-        for client in grid.clients:
-            client.registry.coordinators = [lille]
-            client.registry.suspected.clear()
-            client.registry.set_preferred(lille)
-            grid.partitions.hide_bidirectional(client.address, orsay)
-        progress_holds["before"] = grid.progress_condition_holds()
-
+    The inconsistent views are two component entries: the network refuses
+    server↔Lille and client↔Orsay exchanges (``net.partition-schedule``
+    bidirectional hide rules, making the views airtight) and the registries
+    are rewritten by :class:`PartitionedViews`, resolved via its dotted path
+    exactly as a spec's ``components:`` entry would.
+    """
+    isolation = create_component(
+        "net.partition-schedule",
+        {
+            "events": [
+                {"time": 0, "action": "hide", "dest": "coordinator:lille",
+                 "source": "servers", "bidirectional": True},
+                {"time": 0, "action": "hide", "dest": "coordinator:orsay",
+                 "source": "clients", "bidirectional": True},
+            ]
+        },
+    )
+    views = create_component(
+        "repro.experiments.fig11_partition:PartitionedViews",
+        {"client_coordinator": "lille", "server_coordinator": "orsay"},
+    )
     result = run_alcatel_campaign(
         n_tasks=n_tasks,
         servers_per_site=servers_per_site,
         seed=seed,
         client_preferred="lille",
-        prepare=prepare,
+        components=[isolation, views],
         **kwargs,
     )
-    result["progress_condition_held"] = progress_holds.get("before", False)
+    result["progress_condition_held"] = bool(views.progress_condition_held)
     result["completed_under_partition"] = (
         result["finished_in_time"] and result["completed"] >= result["submitted"]
     )

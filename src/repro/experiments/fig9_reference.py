@@ -14,12 +14,12 @@ larger ``servers_per_site`` for the full-size campaign.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.config import ProtocolConfig
-from repro.grid.builder import Grid, build_internet_testbed
+from repro.grid.builder import build_internet_testbed
 from repro.scenarios.registry import scenario
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import CellResult, ScenarioSpec
@@ -36,16 +36,19 @@ def run_alcatel_campaign(
     seed: int = 0,
     horizon: float = 30_000.0,
     client_preferred: str = "lille",
-    prepare: Callable[[Grid], None] | None = None,
-    driver: Callable[[Grid, AlcatelWorkload], Any] | None = None,
+    components: Sequence[Any] = (),
+    driver_components: Sequence[Any] = (),
     sample_period: float = 60.0,
 ) -> dict[str, Any]:
     """Run one Alcatel campaign on the Internet testbed and collect its curves.
 
-    ``prepare`` is called after the grid is built but before it starts (used
-    by the partition scenario to rewire registries); ``driver`` is an optional
-    generator factory spawned alongside the workload (used by the coordinator
-    fault scenario to kill/restart coordinators at completion thresholds).
+    ``components`` are extra platform components built into the grid before
+    it starts (instances, registered names, or ``{"name", "params"}``
+    entries — the partition scenario wires its inconsistent views this way);
+    ``driver_components`` join *after* the workload process is spawned — the
+    lifecycle slot scenario drivers have always used, so a script migrated
+    from a ``driver`` callback onto an ``inject.script`` entry replays the
+    exact same event sequence.
     """
     servers_per_site = servers_per_site or {"lille": 20, "wisconsin": 20, "orsay": 20}
     protocol = ProtocolConfig()
@@ -56,15 +59,14 @@ def run_alcatel_campaign(
         protocol=protocol,
         seed=seed,
         client_preferred=client_preferred,
+        components=components,
     )
-    if prepare is not None:
-        prepare(grid)
     grid.start()
 
     workload = AlcatelWorkload(n_tasks=n_tasks, median_duration=median_duration, seed=seed + 1)
     process = grid.run_process(workload.run(grid.client), name="alcatel-campaign")
-    if driver is not None:
-        grid.env.process(driver(grid, workload), name="scenario-driver")
+    for entry in driver_components:
+        grid.add_component(entry)
 
     finished = grid.run_until(process, timeout=horizon)
     makespan = workload.makespan if finished else grid.env.now

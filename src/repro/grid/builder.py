@@ -219,6 +219,14 @@ class Grid:
                 kind.value: self.monitor.count(f"faults.{kind.value}")
                 for kind in ComponentKind
             },
+            # Component-level observability: what is registered, and what the
+            # policy layer has been doing (every policy.* monitor counter).
+            "components": self.manager.names(),
+            "policies": {
+                name: value
+                for name, value in self.monitor.counters.items()
+                if name.startswith("policy.")
+            },
         }
 
 
@@ -352,6 +360,7 @@ def build_grid(
             config=spec.protocol.coordinator,
             monitor=monitor,
             database_model=spec.coordinator_database,
+            policies=spec.protocol.policy,
         )
         grid.hosts[address] = host
         grid.coordinators.append(component)
@@ -409,6 +418,7 @@ def build_grid(
             registry,
             config=spec.protocol.client,
             monitor=monitor,
+            policies=spec.protocol.policy,
         )
         grid.hosts[address] = host
         grid.clients.append(component)

@@ -1,34 +1,38 @@
-"""Client-side message-logging strategies (Figure 4).
+"""Client-side message-logging engine (Figure 4).
 
-The three strategies differ only in *when* the disk write of the log record
-is allowed to delay the communication:
+The *mechanism* lives here — the durable log, the overhead accounting, the
+crash-safe durability callback — while the *strategy* (when durability may
+delay the communication) is a pluggable :class:`~repro.policies.logging.
+LoggingPolicy` from the ``policy.log.*`` family:
 
-* **blocking pessimistic** — the communication may not start before the log
-  record is durable (full synchronous write up front, ≈ +30 % in the paper);
-* **non-blocking pessimistic** — the communication starts immediately but may
-  not *complete* before the log record is durable (small, variable overhead
-  attributed to disc-cache management);
-* **optimistic** — the write happens in the background at low priority; the
-  communication is never delayed, but a crash before the background write
-  completes loses the record (hence the more expensive recovery when both the
-  client and the coordinator crash).
+* ``policy.log.pessimistic-blocking``    — durable before the communication
+  starts (≈ +30 % in the paper);
+* ``policy.log.pessimistic-nonblocking`` — the communication may not
+  *complete* before the record is durable;
+* ``policy.log.optimistic``              — background write; a crash before
+  it completes loses the record.
 
 The engine exposes two process fragments, :meth:`LoggingEngine.before_send`
 and :meth:`LoggingEngine.after_send`, that the client wraps around its
 communication; the returned :class:`LogToken` carries the durability event
-between the two.
+between the two.  Constructing the engine without an explicit policy derives
+one from the config's legacy ``strategy`` flag, so direct users of this
+module behave exactly as before the policy layer existed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.config import LoggingConfig
 from repro.msglog.log import MessageLog
 from repro.nodes.node import Host
-from repro.sim.core import Event, ProcessKilled
+from repro.sim.core import Event
 from repro.types import LoggingStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.policies.logging import LoggingPolicy
 
 __all__ = ["LogToken", "LoggingEngine"]
 
@@ -47,20 +51,33 @@ class LogToken:
 
 
 class LoggingEngine:
-    """Applies one of the three logging strategies around a communication."""
+    """Applies one logging policy around every logged communication."""
 
-    def __init__(self, host: Host, log: MessageLog, config: LoggingConfig) -> None:
+    def __init__(
+        self,
+        host: Host,
+        log: MessageLog,
+        config: LoggingConfig,
+        policy: "LoggingPolicy | None" = None,
+    ) -> None:
         self.host = host
         self.log = log
         self.config = config
+        if policy is None:
+            # Deferred import: repro.policies.logging imports this module's
+            # LogToken, so the default resolution cannot be a top-level import.
+            from repro.policies.resolve import logging_policy_from
+
+            policy = logging_policy_from(config)
+        self.policy = policy
         #: cumulative simulated time the strategy added in front of / behind
         #: communications (reported by the Fig. 4 experiment).
         self.blocking_overhead = 0.0
 
     @property
     def strategy(self) -> LoggingStrategy:
-        """The configured strategy."""
-        return self.config.strategy
+        """The strategy the active policy implements."""
+        return self.policy.strategy
 
     # -- process fragments ---------------------------------------------------------
     def before_send(self, key: Any, payload: dict[str, Any], size_bytes: int):
@@ -69,60 +86,13 @@ class LoggingEngine:
         Yields simulation events; returns a :class:`LogToken` (via the
         generator's return value) for :meth:`after_send`.
         """
-        self.log.append(key, payload, size_bytes)
-        disk = self.host.disk
-        strategy = self.config.strategy
-
-        if strategy is LoggingStrategy.PESSIMISTIC_BLOCKING:
-            cost = disk.sync_write_time(size_bytes)
-            self.blocking_overhead += cost
-            yield self.host.sleep(cost)
-            self.log.mark_durable(key)
-            return LogToken(key=key, size_bytes=size_bytes)
-
-        if strategy is LoggingStrategy.PESSIMISTIC_NON_BLOCKING:
-            # The write proceeds concurrently with the communication; the
-            # synchronous remainder is charged when the communication ends.
-            rng = self.host.rng.stream(f"disk.cache.{self.host.address}")
-            sync_part = disk.cached_write_sync_time(size_bytes, rng)
-            durability_event = self.host.env.timeout(sync_part)
-            incarnation = self.host.incarnation
-            durability_event.callbacks.append(
-                lambda _e, k=key, i=incarnation: self._make_durable(k, i)
-            )
-            return LogToken(
-                key=key,
-                size_bytes=size_bytes,
-                durability_event=durability_event,
-                must_wait_after=True,
-            )
-
-        # Optimistic: low-priority background write; a negligible foreground
-        # cost is still paid (the paper observes "negligible overhead", not
-        # zero), and durability arrives much later.
-        foreground = disk.background_write_foreground_time(size_bytes)
-        if foreground > 0:
-            self.blocking_overhead += foreground
-            yield self.host.sleep(foreground)
-        completion = disk.background_write_completion_time(size_bytes)
-        durability_event = self.host.env.timeout(completion)
-        incarnation = self.host.incarnation
-        durability_event.callbacks.append(
-            lambda _e, k=key, i=incarnation: self._make_durable(k, i)
-        )
-        return LogToken(key=key, size_bytes=size_bytes, durability_event=durability_event)
+        token = yield from self.policy.before_send(self, key, payload, size_bytes)
+        return token
 
     def after_send(self, token: LogToken):
         """Pay any post-communication cost mandated by the strategy."""
-        if token.must_wait_after and token.durability_event is not None:
-            if not token.durability_event.processed:
-                start = self.host.env.now
-                try:
-                    yield token.durability_event
-                except ProcessKilled:  # pragma: no cover - host crash mid-wait
-                    raise
-                self.blocking_overhead += self.host.env.now - start
-        return None
+        result = yield from self.policy.after_send(self, token)
+        return result
 
     # -- helpers ----------------------------------------------------------------------
     def _make_durable(self, key: Any, incarnation: int | None = None) -> None:

@@ -133,16 +133,38 @@ class ChurnInjectorComponent(BaseComponent):
 
 @component("inject.script")
 class ScriptedFaults(BaseComponent):
-    """A deterministic kill/restart timetable (the Figs. 10-11 style).
+    """Deterministic kill/restart scripts (the Figs. 10-11 style).
 
-    ``events`` is a list of ``{"time": ..., "action": "kill" | "restart",
-    "target": "<host name>"}`` records; targets are matched against
+    Two declarative forms, combinable:
+
+    ``events`` — an absolute timetable: ``{"time": ..., "action": "kill" |
+    "restart", "target": "<host name>"}`` records, matched against
     ``str(host.address)`` over the whole grid.
+
+    ``steps`` — a *sequential conditional program*, for scripts that trigger
+    on system state rather than wall-clock time (Figure 10 kills the primary
+    once ~40 % of the campaign has completed).  Steps run in order; each may
+    carry:
+
+    * ``"until"``: a condition polled every ``"poll"`` seconds (default 10)
+      before the step's action fires —
+      ``{"kind": "finished-count", "coordinator": "lille", "at_least": N}``
+      (that coordinator knows ≥ N finished tasks) or
+      ``{"kind": "caught-up", "coordinator": "lille", "reference": "orsay",
+      "margin": M}`` (lille's count is within M of orsay's);
+    * ``"after"``: a plain delay in seconds (instead of, or with, nothing);
+    * ``"do"``: ``"kill"`` / ``"restart"`` (needs ``"target"``) or ``"note"``
+      (record only);
+    * ``"label"`` / ``"note"``: recorded with the firing time in
+      :attr:`recorded` — the labelled event log the figures annotate.
     """
+
+    _CONDITIONS = ("finished-count", "caught-up")
 
     def __init__(
         self,
         events: Sequence[Mapping[str, Any]] = (),
+        steps: Sequence[Mapping[str, Any]] = (),
         name: str | None = None,
     ) -> None:
         super().__init__(name or "fault-script")
@@ -157,26 +179,154 @@ class ScriptedFaults(BaseComponent):
                 raise ConfigurationError(
                     f"unknown scripted action {action!r} (kill or restart)"
                 )
+        self.steps = [dict(step) for step in steps]
+        for step in self.steps:
+            do = step.get("do")
+            if do not in (None, "kill", "restart", "note"):
+                raise ConfigurationError(
+                    f"unknown step action {do!r} (kill, restart or note)"
+                )
+            if do in ("kill", "restart") and not step.get("target"):
+                raise ConfigurationError(f"step {step!r} needs a 'target'")
+            try:
+                step["poll"] = float(step.get("poll", 10.0))
+                if step.get("after") is not None:
+                    step["after"] = float(step["after"])
+            except (TypeError, ValueError) as error:
+                raise ConfigurationError(
+                    f"step {step!r} has a non-numeric timing value: {error}"
+                ) from None
+            until = step.get("until")
+            if until is None:
+                continue
+            if not isinstance(until, Mapping):
+                raise ConfigurationError(
+                    f"step condition must be a mapping, got {until!r}"
+                )
+            kind = until.get("kind")
+            if kind not in self._CONDITIONS:
+                raise ConfigurationError(
+                    f"unknown step condition {kind!r} "
+                    f"(one of: {', '.join(self._CONDITIONS)})"
+                )
+            required = (
+                ("coordinator", "at_least")
+                if kind == "finished-count"
+                else ("coordinator", "reference")
+            )
+            missing = [key for key in required if key not in until]
+            if missing:
+                raise ConfigurationError(
+                    f"step condition {dict(until)!r} is missing "
+                    f"{', '.join(missing)}"
+                )
+            # Coerce the numeric threshold now (steps often come from
+            # hand-written JSON/YAML specs): a malformed value must fail
+            # here, not as a TypeError at the first in-simulation poll.
+            until = step["until"] = dict(until)
+            try:
+                if kind == "finished-count":
+                    until["at_least"] = float(until["at_least"])
+                else:
+                    until["margin"] = float(until.get("margin", 0))
+            except (TypeError, ValueError) as error:
+                raise ConfigurationError(
+                    f"step condition {dict(until)!r} has a non-numeric "
+                    f"threshold: {error}"
+                ) from None
+        #: labelled events the steps recorded, in firing order.
+        self.recorded: list[dict[str, Any]] = []
         self._builder: "Builder | None" = None
 
     def setup(self, builder: "Builder") -> None:
         self._builder = builder
-        # Fail fast on a target no host of this grid matches.
-        known = {str(host.address) for host in builder.hosts("all")}
-        unknown = self.script.targets() - known
+        # Fail fast on a target no host of this grid matches.  The absolute
+        # timetable resolves by full address string only (FaultScript's
+        # contract); steps resolve through builder.host, which also accepts
+        # bare address names.
+        hosts = builder.hosts("all")
+        full_names = {str(host.address) for host in hosts}
+        unknown = self.script.targets() - full_names
+        step_names = full_names | {host.address.name for host in hosts}
+        unknown |= {
+            str(step["target"])
+            for step in self.steps
+            if step.get("target") and str(step["target"]) not in step_names
+        }
         if unknown:
             raise ConfigurationError(
                 f"fault script targets unknown hosts: {sorted(unknown)}"
             )
+        # The coordinator names inside step conditions get the same fail-fast
+        # treatment — a typo must not surface mid-simulation at the first poll.
+        coordinators = {c.address.name for c in builder.grid.coordinators}
+        for step in self.steps:
+            until = step.get("until")
+            if until is None:
+                continue
+            named = {
+                str(until[key])
+                for key in ("coordinator", "reference")
+                if key in until
+            }
+            missing = named - coordinators
+            if missing:
+                raise ConfigurationError(
+                    f"step condition references unknown coordinators: "
+                    f"{sorted(missing)} (known: {sorted(coordinators)})"
+                )
 
     def start(self) -> None:
-        assert self._builder is not None, "setup() must run before start()"
-        self.script.install(
-            self._builder.env, self._builder.hosts("all"), self._builder.monitor
-        )
+        builder = self._builder
+        assert builder is not None, "setup() must run before start()"
+        if self.script.events:
+            self.script.install(builder.env, builder.hosts("all"), builder.monitor)
+        if self.steps:
+            builder.env.process(self._run_steps(), name=f"{self.name}:steps")
 
-    # The driver process runs the timetable to its end; there is nothing to
-    # reclaim on stop (the process dies with the environment).
+    # The driver processes run their scripts to the end; there is nothing to
+    # reclaim on stop (they die with the environment).
+
+    # ------------------------------------------------------------ step driver
+    def _satisfied(self, condition: Mapping[str, Any]) -> bool:
+        grid = self._builder.grid
+        kind = condition["kind"]
+        if kind == "finished-count":
+            coordinator = grid.coordinator_by_name(str(condition["coordinator"]))
+            return coordinator.finished_count() >= condition["at_least"]
+        # caught-up: coordinator's count within margin of the reference's.
+        coordinator = grid.coordinator_by_name(str(condition["coordinator"]))
+        reference = grid.coordinator_by_name(str(condition["reference"]))
+        margin = condition.get("margin", 0)
+        return coordinator.finished_count() >= reference.finished_count() - margin
+
+    def _run_steps(self):
+        builder = self._builder
+        env = builder.env
+        for step in self.steps:
+            until = step.get("until")
+            if until is not None:
+                # __init__ coerced poll/after to floats (fail-fast contract).
+                while not self._satisfied(until):
+                    yield env.timeout(step["poll"])
+            after = step.get("after")
+            if after:
+                yield env.timeout(after)
+            do = step.get("do")
+            if do == "kill":
+                builder.host(str(step["target"])).crash(cause=self.name)
+                builder.monitor.incr("faultscript.kills")
+            elif do == "restart":
+                builder.host(str(step["target"])).restart()
+                builder.monitor.incr("faultscript.restarts")
+            if step.get("label") is not None or step.get("note") is not None:
+                record: dict[str, Any] = {}
+                if step.get("label") is not None:
+                    record["label"] = step["label"]
+                if step.get("note") is not None:
+                    record["event"] = step["note"]
+                record["time"] = env.now
+                self.recorded.append(record)
 
 
 @component("net.partition-schedule")
@@ -191,7 +341,11 @@ class PartitionSchedule(BaseComponent):
       (``"servers"`` / ``"coordinators"`` / ``"clients"``);
     * ``{"time": t, "action": "heal", "partition": "name"}`` — remove it;
     * ``{"time": t, "action": "hide", "dest": "x", "source": "y"}`` /
-      ``{"time": t, "action": "unhide", ...}`` — one-way visibility rules;
+      ``{"time": t, "action": "unhide", ...}`` — visibility rules.  ``dest``
+      and ``source`` may each be one host name or a tier selector
+      (``"servers"`` / ``"coordinators"`` / ``"clients"``), expanding to the
+      cross product; ``"bidirectional": true`` hides each pair both ways
+      (the mutually inconsistent views of Figure 11);
     * ``{"time": t, "action": "heal-all"}`` — remove everything.
     """
 
@@ -221,10 +375,14 @@ class PartitionSchedule(BaseComponent):
         self._builder = builder
 
     def _addresses(self, group: Any) -> list:
+        """A group spec -> addresses: a tier selector, one host name, or a list."""
         builder = self._builder
         assert builder is not None
         if isinstance(group, str):
-            return [host.address for host in builder.hosts(group)]
+            try:
+                return [host.address for host in builder.hosts(group)]
+            except ConfigurationError:
+                return [builder.host(group).address]
         return [builder.host(entry).address for entry in group]
 
     def _apply(self, event: Mapping[str, Any]) -> None:
@@ -240,16 +398,15 @@ class PartitionSchedule(BaseComponent):
             )
         elif action == "heal":
             partitions.heal(str(event.get("partition", self.name)))
-        elif action == "hide":
-            partitions.hide(
-                builder.host(event["dest"]).address,
-                from_source=builder.host(event["source"]).address,
-            )
-        elif action == "unhide":
-            partitions.unhide(
-                builder.host(event["dest"]).address,
-                from_source=builder.host(event["source"]).address,
-            )
+        elif action in ("hide", "unhide"):
+            rule = partitions.hide if action == "hide" else partitions.unhide
+            for dest in self._addresses(event["dest"]):
+                for source in self._addresses(event["source"]):
+                    if dest == source:
+                        continue
+                    rule(dest, from_source=source)
+                    if event.get("bidirectional"):
+                        rule(source, from_source=dest)
         else:  # heal-all
             partitions.heal_all()
         self.applied += 1

@@ -39,7 +39,12 @@ __all__ = [
 _REGISTRY: dict[str, Callable[..., Component]] = {}
 
 #: modules whose import registers the built-in components.
-_BUILTIN_MODULES: tuple[str, ...] = ("repro.platform.library",)
+_BUILTIN_MODULES: tuple[str, ...] = (
+    "repro.platform.library",
+    "repro.policies.scheduling",
+    "repro.policies.replication",
+    "repro.policies.logging",
+)
 _loaded = False
 
 

@@ -1,0 +1,72 @@
+"""Registry-resolved protocol strategies (the ``policy.*`` component family).
+
+The protocol components own their *mechanisms* — work-request handling,
+state-abstract rounds, log records — and delegate the *decisions* to small
+strategy objects carved out of them:
+
+* :mod:`repro.policies.scheduling`  — which eligible task answers a server's
+  work request (``policy.sched.*``);
+* :mod:`repro.policies.replication` — when the coordinator propagates state
+  to its ring successor (``policy.repl.*``);
+* :mod:`repro.policies.logging`     — when log-record durability may delay a
+  client communication (``policy.log.*``).
+
+Every policy is registered in the platform registry under its ``policy.*``
+key, so scenarios select them exactly like injectors: by name with plain
+parameters — ``--set policy.scheduler=policy.sched.random`` on the CLI, a
+``protocol_overrides`` entry on a spec, or a custom class by dotted path
+(see ``examples/custom_policy.py``).  :mod:`repro.policies.resolve` maps the
+legacy tier-config flags onto the equivalent built-ins when no entry is set.
+"""
+
+from repro.policies.base import PolicyBase
+from repro.policies.logging import (
+    LoggingPolicy,
+    OptimisticLogging,
+    PessimisticBlockingLogging,
+    PessimisticNonBlockingLogging,
+)
+from repro.policies.replication import (
+    NoReplication,
+    OnCommitReplication,
+    PassivePeriodicReplication,
+    ReplicationPolicy,
+)
+from repro.policies.resolve import (
+    logging_policy_from,
+    normalize_policy_entry,
+    replication_policy_from,
+    scheduler_policy_from,
+    validate_policy_entries,
+)
+from repro.policies.scheduling import (
+    FastestFirstSchedulerPolicy,
+    FifoReschedulePolicy,
+    RandomSchedulerPolicy,
+    RoundRobinSchedulerPolicy,
+    SchedulerPolicy,
+    SchedulingDecision,
+)
+
+__all__ = [
+    "FastestFirstSchedulerPolicy",
+    "FifoReschedulePolicy",
+    "LoggingPolicy",
+    "NoReplication",
+    "OnCommitReplication",
+    "OptimisticLogging",
+    "PassivePeriodicReplication",
+    "PessimisticBlockingLogging",
+    "PessimisticNonBlockingLogging",
+    "PolicyBase",
+    "RandomSchedulerPolicy",
+    "ReplicationPolicy",
+    "RoundRobinSchedulerPolicy",
+    "SchedulerPolicy",
+    "SchedulingDecision",
+    "logging_policy_from",
+    "normalize_policy_entry",
+    "replication_policy_from",
+    "scheduler_policy_from",
+    "validate_policy_entries",
+]

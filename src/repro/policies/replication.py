@@ -1,0 +1,151 @@
+"""Coordinator replication policies (``policy.repl.*``).
+
+The mechanism — building a state abstract, pushing it to the ring successor,
+suspecting a silent successor — lives on the coordinator
+(:meth:`~repro.core.coordinator.CoordinatorComponent.replicate_once` and
+:mod:`repro.core.replication`).  What a policy owns is the *cadence*: when
+rounds happen and what triggers them.
+
+* ``policy.repl.passive-periodic`` — the paper's protocol: one round every
+  ``period`` seconds (60 s on the Internet testbed, one heart-beat period on
+  the confined cluster);
+* ``policy.repl.none``             — never replicate (the Ninf/RCS-style and
+  NetSolve-style baselines);
+* ``policy.repl.on-commit``        — eager: a round fires as soon as state
+  becomes dirty (new submission, assignment, completion, requeue), with an
+  optional ``min_interval`` damping successive rounds.  Trades bandwidth and
+  database writes for a near-zero replica lag.
+
+A policy is installed from the coordinator's ``start()`` — once per
+incarnation, so a crashed-and-restarted coordinator re-arms its cadence the
+same way its first incarnation did.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.platform.registry import component
+from repro.policies.base import PolicyBase
+from repro.sim.core import ProcessKilled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.coordinator import CoordinatorComponent
+
+__all__ = [
+    "ReplicationPolicy",
+    "PassivePeriodicReplication",
+    "NoReplication",
+    "OnCommitReplication",
+]
+
+
+class ReplicationPolicy(PolicyBase):
+    """When (and whether) a coordinator propagates state to its successor."""
+
+    key = "policy.repl.base"
+
+    #: whether this policy replicates at all (reporting / describe()).
+    enabled = True
+
+    def install(self, coordinator: "CoordinatorComponent") -> None:
+        """Arm the cadence on ``coordinator`` (called from its ``start()``)."""
+
+    def on_dirty(self, coordinator: "CoordinatorComponent", key: object) -> None:
+        """Notification: ``key`` joined the coordinator's dirty set."""
+
+
+@component("policy.repl.passive-periodic")
+class PassivePeriodicReplication(ReplicationPolicy):
+    """One replication round every ``period`` seconds (the paper's protocol)."""
+
+    key = "policy.repl.passive-periodic"
+
+    def __init__(self, period: float | None = None, name: str | None = None) -> None:
+        super().__init__(name)
+        #: seconds between rounds; ``None`` defers to the coordinator's
+        #: :class:`~repro.config.ReplicationConfig` period.
+        self.period = period
+
+    def install(self, coordinator: "CoordinatorComponent") -> None:
+        coordinator.host.spawn(
+            self._loop(coordinator), name=f"{coordinator.name}:replication"
+        )
+
+    def _loop(self, coordinator: "CoordinatorComponent"):
+        period = (
+            self.period
+            if self.period is not None
+            else coordinator.config.replication.period
+        )
+        try:
+            while True:
+                yield coordinator.host.sleep(period)
+                yield from coordinator.replicate_once()
+                self.incr("rounds")
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+
+@component("policy.repl.none")
+class NoReplication(ReplicationPolicy):
+    """Never replicate: the coordinator is a single point of failure."""
+
+    key = "policy.repl.none"
+    enabled = False
+
+
+@component("policy.repl.on-commit")
+class OnCommitReplication(ReplicationPolicy):
+    """Replicate eagerly: a round fires as soon as state becomes dirty.
+
+    The driver sleeps on an event while the dirty set is empty;
+    :meth:`on_dirty` wakes it.  ``min_interval`` (seconds) spaces successive
+    rounds so a submission burst coalesces into one abstract per interval
+    instead of one per task.
+    """
+
+    key = "policy.repl.on-commit"
+
+    def __init__(self, min_interval: float = 0.0, name: str | None = None) -> None:
+        super().__init__(name)
+        if min_interval < 0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError("min_interval must be non-negative")
+        self.min_interval = float(min_interval)
+        self._wake = None
+
+    def install(self, coordinator: "CoordinatorComponent") -> None:
+        self._wake = None
+        coordinator.host.spawn(
+            self._loop(coordinator), name=f"{coordinator.name}:replication"
+        )
+
+    def on_dirty(self, coordinator: "CoordinatorComponent", key: object) -> None:
+        wake = self._wake
+        if wake is not None and not wake.triggered:
+            wake.succeed(None)
+
+    def _loop(self, coordinator: "CoordinatorComponent"):
+        env = coordinator.env
+        try:
+            while True:
+                if not coordinator._dirty:
+                    self._wake = env.event()
+                    yield self._wake
+                    self._wake = None
+                before = env.now
+                yield from coordinator.replicate_once()
+                self.incr("rounds")
+                if self.min_interval > 0:
+                    yield coordinator.host.sleep(self.min_interval)
+                elif env.now == before:
+                    # The round went nowhere without consuming time (no ring
+                    # successor): back off one configured period instead of
+                    # spinning on the same simulated instant.
+                    yield coordinator.host.sleep(
+                        coordinator.config.replication.period
+                    )
+        except ProcessKilled:  # pragma: no cover - host crash
+            return

@@ -1,0 +1,238 @@
+"""Coordinator-side scheduling policies (``policy.sched.*``).
+
+The paper's coordinator uses "a basic first-come first-serve scheduling
+policy" together with a simple replica-coordination scheme that prevents most
+duplicate executions when several server partitions talk to different
+coordinators:
+
+* **finished** tasks are never scheduled by a coordinator replica;
+* **ongoing** tasks are not scheduled until the replica suspects the
+  disconnection of its predecessor (the coordinator that assigned them);
+* **pending** tasks are scheduled.
+
+Scheduling is pull-based (servers request work), so "scheduling" here means
+answering one server's work request with the most appropriate eligible task.
+The de-duplication scheme above is shared by every policy; what varies is
+:meth:`SchedulerPolicy.choose` — which eligible task answers the request:
+
+* ``policy.sched.fifo-reschedule`` — the paper's FCFS order (oldest
+  submission first);
+* ``policy.sched.random``          — uniform over the eligible set, drawn
+  from a deterministic per-coordinator stream;
+* ``policy.sched.round-robin``     — a rotating cursor over the FCFS order,
+  spreading assignments across the backlog;
+* ``policy.sched.fastest-first``   — shortest declared execution time first
+  (ties broken FCFS), the classic SJF heuristic.
+
+Every policy takes ``reschedule=`` (the "on suspicion" replication switch the
+baselines ablate) and is registered in the platform registry, so scenario
+specs and ``--set policy.scheduler=...`` select one by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.platform.registry import component
+from repro.policies.base import PolicyBase
+from repro.types import Address, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle through
+    # repro.core.__init__, which itself imports the policy layer)
+    from repro.core.protocol import TaskRecord
+
+__all__ = [
+    "SchedulingDecision",
+    "SchedulerPolicy",
+    "FifoReschedulePolicy",
+    "RandomSchedulerPolicy",
+    "RoundRobinSchedulerPolicy",
+    "FastestFirstSchedulerPolicy",
+]
+
+
+@dataclass
+class SchedulingDecision:
+    """Outcome of one work request."""
+
+    task: TaskRecord | None
+    reason: str = ""
+
+
+def _fcfs_key(record: TaskRecord) -> tuple:
+    """The paper's FCFS order: submission time, then call identity."""
+    return (
+        record.submitted_at,
+        record.call.identity.user.value,
+        record.call.identity.session.value,
+        record.call.identity.rpc.value,
+    )
+
+
+class SchedulerPolicy(PolicyBase):
+    """Shared machinery: eligibility, assignment bookkeeping, rescheduling.
+
+    Subclasses implement :meth:`choose` — pick one task from the non-empty,
+    FCFS-ordered eligible list.
+    """
+
+    key = "policy.sched.base"
+
+    def __init__(self, reschedule: bool = True, name: str | None = None) -> None:
+        super().__init__(name)
+        #: re-schedule all tasks of a suspected server ("on suspicion"
+        #: replication) — the switch the degraded baselines turn off.
+        self.reschedule = bool(reschedule)
+        #: how many assignments this policy has made (reporting).
+        self.assignments = 0
+        #: how many times the de-duplication policy withheld an ongoing task.
+        self.dedup_holds = 0
+
+    # ------------------------------------------------------------- eligibility
+    def eligible_tasks(
+        self,
+        tasks: dict[object, TaskRecord],
+        my_name: str,
+        owner_suspected: Callable[[str], bool],
+    ) -> list[TaskRecord]:
+        """Tasks this coordinator may hand out right now, FCFS-ordered."""
+        eligible: list[TaskRecord] = []
+        for record in tasks.values():
+            if record.state is TaskState.FINISHED:
+                continue
+            if record.state is TaskState.PENDING:
+                eligible.append(record)
+                continue
+            # ONGOING: only reschedulable when the coordinator that assigned
+            # it (a different one) is suspected, or when it was assigned by us
+            # to a server we have since declared suspect (that transition is
+            # done by the coordinator's monitor loop, which resets the task to
+            # PENDING, so it is not handled here).
+            if record.owner != my_name and owner_suspected(record.owner):
+                eligible.append(record)
+            else:
+                self.dedup_holds += 1
+        eligible.sort(key=_fcfs_key)
+        return eligible
+
+    # -------------------------------------------------------------- assignment
+    def pick(
+        self,
+        tasks: dict[object, TaskRecord],
+        server: Address,
+        my_name: str,
+        owner_suspected: Callable[[str], bool],
+        now: float,
+    ) -> SchedulingDecision:
+        """Answer one work request from ``server``."""
+        eligible = self.eligible_tasks(tasks, my_name, owner_suspected)
+        if not eligible:
+            return SchedulingDecision(task=None, reason="no eligible task")
+        task = self.choose(eligible, server=server, now=now)
+        task.state = TaskState.ONGOING
+        task.owner = my_name
+        task.assigned_server = server
+        task.attempts += 1
+        task.started_at = now
+        self.assignments += 1
+        self.incr("assignments")
+        return SchedulingDecision(task=task, reason=self.key)
+
+    def choose(
+        self, eligible: list[TaskRecord], server: Address, now: float
+    ) -> TaskRecord:
+        """Pick one task from the non-empty, FCFS-ordered eligible list."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ rescheduling
+    def reschedule_for_suspected_server(
+        self, tasks: dict[object, TaskRecord], server: Address, my_name: str
+    ) -> list[TaskRecord]:
+        """"On suspicion" replication: re-queue every ongoing task of ``server``.
+
+        Returns the tasks that were reset to PENDING (empty when the policy
+        has rescheduling disabled).
+        """
+        if not self.reschedule:
+            return []
+        reset: list[TaskRecord] = []
+        for record in tasks.values():
+            if (
+                record.state is TaskState.ONGOING
+                and record.assigned_server == server
+                and record.owner == my_name
+            ):
+                record.state = TaskState.PENDING
+                record.assigned_server = None
+                reset.append(record)
+        if reset:
+            self.incr("reschedules", len(reset))
+        return reset
+
+
+@component("policy.sched.fifo-reschedule")
+class FifoReschedulePolicy(SchedulerPolicy):
+    """First-come first-served (the paper's policy): oldest submission first."""
+
+    key = "policy.sched.fifo-reschedule"
+
+    def choose(
+        self, eligible: list[TaskRecord], server: Address, now: float
+    ) -> TaskRecord:
+        return eligible[0]
+
+
+@component("policy.sched.random")
+class RandomSchedulerPolicy(SchedulerPolicy):
+    """Uniform over the eligible set, from a deterministic per-owner stream."""
+
+    key = "policy.sched.random"
+
+    def choose(
+        self, eligible: list[TaskRecord], server: Address, now: float
+    ) -> TaskRecord:
+        index = int(self.stream(self.owner).integers(0, len(eligible)))
+        return eligible[index]
+
+
+@component("policy.sched.round-robin")
+class RoundRobinSchedulerPolicy(SchedulerPolicy):
+    """A rotating cursor over the FCFS order: spread work over the backlog."""
+
+    key = "policy.sched.round-robin"
+
+    def __init__(self, reschedule: bool = True, name: str | None = None) -> None:
+        super().__init__(reschedule=reschedule, name=name)
+        self._cursor = 0
+
+    def choose(
+        self, eligible: list[TaskRecord], server: Address, now: float
+    ) -> TaskRecord:
+        task = eligible[self._cursor % len(eligible)]
+        self._cursor += 1
+        return task
+
+
+@component("policy.sched.fastest-first")
+class FastestFirstSchedulerPolicy(SchedulerPolicy):
+    """Shortest declared execution time first (SJF), FCFS tie-break.
+
+    Calls that declare no ``exec_time`` sort last (they could run forever,
+    so known-short work goes out first).
+    """
+
+    key = "policy.sched.fastest-first"
+
+    def choose(
+        self, eligible: list[TaskRecord], server: Address, now: float
+    ) -> TaskRecord:
+        return min(
+            eligible,
+            key=lambda record: (
+                record.call.exec_time
+                if record.call.exec_time is not None
+                else float("inf"),
+                _fcfs_key(record),
+            ),
+        )

@@ -28,6 +28,11 @@ from repro.grid.builder import Grid, build_confined_cluster, build_internet_test
 from repro.grid.deployment import confined_cluster_spec, internet_testbed_spec
 from repro.nodes.faultgen import ChurnInjector, FaultGenerator
 from repro.platform.library import ChurnInjectorComponent, RateFaultInjector
+from repro.policies.resolve import (
+    reassert_flag_override,
+    sync_policy_flags,
+    validate_policy_entries,
+)
 from repro.scenarios.report import RunReport
 from repro.workloads.synthetic import SyntheticWorkload
 
@@ -108,6 +113,10 @@ class WorkloadSpec:
     exec_time: float = 10.0
     params_bytes: int = 1024
     result_bytes: int = 64
+    #: heterogeneous durations: call *i* runs ``exec_time * (1 + spread*f_i)``
+    #: with a deterministic sawtooth ``f_i`` (see SyntheticWorkload); 0 keeps
+    #: the paper's identical calls.  Scheduler ablations sweep over this.
+    exec_time_spread: float = 0.0
 
     def build(self) -> SyntheticWorkload:
         return SyntheticWorkload(
@@ -115,12 +124,13 @@ class WorkloadSpec:
             exec_time=self.exec_time,
             params_bytes=self.params_bytes,
             result_bytes=self.result_bytes,
+            exec_time_spread=self.exec_time_spread,
         )
 
     @property
     def ideal_time(self) -> float:
         """Total serial work; callers divide by the worker count."""
-        return self.exec_time * self.n_calls
+        return self.build().total_work
 
 
 @dataclass(frozen=True)
@@ -206,7 +216,9 @@ def apply_protocol_overrides(
 
     Every path must name an existing attribute — typos are configuration
     errors, not silent no-ops, and the error names the valid keys at the
-    failing segment.  The mutated config is re-validated.
+    failing segment.  The mutated config is re-validated.  Overriding a
+    legacy flag a policy entry shadows clears that entry (later ``--set``
+    flags win over earlier ones, in either direction).
     """
     for path, value in overrides.items():
         target: Any = protocol
@@ -221,6 +233,10 @@ def apply_protocol_overrides(
             if index < len(parts) - 1:
                 target = getattr(target, part)
         setattr(target, parts[-1], value)
+        # An explicit legacy-flag override must stay effective despite any
+        # shadowing policy entry (cleared, or rewritten for the scheduler's
+        # reschedule switch) — later --set flags win, in either direction.
+        reassert_flag_override(protocol, path, value)
     return protocol.validate()
 
 
@@ -242,6 +258,11 @@ def resolve_protocol(
         protocol = factory()
     if overrides:
         protocol = apply_protocol_overrides(protocol, overrides)
+        # Policy entries set via overrides fail fast on an unknown registry
+        # key (the CLI calls this once before a sweep burns any time), and
+        # the legacy flags are re-mirrored so describe() stays truthful.
+        validate_policy_entries(protocol.policy)
+        sync_policy_flags(protocol)
     return protocol
 
 
@@ -355,6 +376,7 @@ def benchmark_cell(
     n_coordinators: int = 4,
     params_bytes: int = 1024,
     result_bytes: int = 64,
+    exec_time_spread: float = 0.0,
     spread_servers: bool = False,
     fault_kind: str = "none",
     fault_target: str = "servers",
@@ -365,6 +387,9 @@ def benchmark_cell(
     permanent_fraction: float = 0.0,
     protocol_preset: str | None = None,
     protocol_overrides: Mapping[str, Any] | None = None,
+    scheduler_policy: Any = None,
+    replication_policy: Any = None,
+    logging_policy: Any = None,
     horizon: float = 4000.0,
     components: Sequence[Any] = (),
     **component_params: Any,
@@ -372,17 +397,23 @@ def benchmark_cell(
     """Flat-keyword cell kernel over :func:`execute_benchmark`.
 
     This is the measurement kernel shared by the Figure 7 sweep, the baseline
-    ablation and the churn scenarios: every argument is a plain JSON-able
-    value so it can sit directly on a spec's ``base`` or ``axes``.
+    ablation, the churn scenarios and the scheduler ablation: every argument
+    is a plain JSON-able value so it can sit directly on a spec's ``base`` or
+    ``axes``.
 
     ``components`` entries (``{"name": ..., "params": {...}}``) are resolved
     through the platform registry; parameter values of the form ``"$key"``
     are interpolated against this cell's own parameters, so swept axes can
     drive component parameters (see Figure 7: the injection rate and target
-    tier are both axes).  Keywords the kernel does not know
-    (``component_params``) do not reach the benchmark at all — they exist so
-    a spec can declare extra base parameters or axes whose only purpose is
-    to be ``$``-interpolated into a component entry.
+    tier are both axes).  The same interpolation applies to
+    ``protocol_overrides`` values, and the ``scheduler_policy`` /
+    ``replication_policy`` / ``logging_policy`` keywords are shorthand for
+    the ``policy.*`` override paths (a registry key string or a
+    ``{"name", "params"}`` mapping), so a spec can sweep the scheduler axis
+    with ``Axis("scheduler_policy", (...))`` directly.  Keywords the kernel
+    does not know (``component_params``) do not reach the benchmark at all —
+    they exist so a spec can declare extra base parameters or axes whose only
+    purpose is to be ``$``-interpolated into a component entry.
     """
     cell_params = dict(
         component_params,
@@ -393,6 +424,7 @@ def benchmark_cell(
         n_coordinators=n_coordinators,
         params_bytes=params_bytes,
         result_bytes=result_bytes,
+        exec_time_spread=exec_time_spread,
         spread_servers=spread_servers,
         fault_kind=fault_kind,
         fault_target=fault_target,
@@ -402,8 +434,27 @@ def benchmark_cell(
         mttr=mttr,
         permanent_fraction=permanent_fraction,
         protocol_preset=protocol_preset,
+        scheduler_policy=scheduler_policy,
+        replication_policy=replication_policy,
+        logging_policy=logging_policy,
         horizon=horizon,
     )
+    overrides = dict(protocol_overrides or {})
+    for path, entry in (
+        ("policy.scheduler", scheduler_policy),
+        ("policy.replication", replication_policy),
+        ("policy.logging", logging_policy),
+    ):
+        if entry is None:
+            continue
+        if path in overrides:
+            # Silently preferring one would mislabel every swept row.
+            raise ConfigurationError(
+                f"{path!r} is set both as a cell keyword ({entry!r}) and in "
+                f"protocol_overrides ({overrides[path]!r}); pick one"
+            )
+        overrides[path] = entry
+    overrides = interpolate_params(overrides, cell_params) if overrides else None
     report = execute_benchmark(
         topology=GridTopology(
             n_servers=n_servers,
@@ -415,6 +466,7 @@ def benchmark_cell(
             exec_time=exec_time,
             params_bytes=params_bytes,
             result_bytes=result_bytes,
+            exec_time_spread=exec_time_spread,
         ),
         faults=FaultPlan(
             kind=fault_kind,
@@ -426,7 +478,7 @@ def benchmark_cell(
             permanent_fraction=permanent_fraction,
         ),
         protocol=protocol_preset,
-        protocol_overrides=protocol_overrides,
+        protocol_overrides=overrides,
         seed=seed,
         horizon=horizon,
         components=interpolate_params(list(components), cell_params),

@@ -29,16 +29,86 @@ __all__ = ["SweepRunner", "run_scenario"]
 
 
 def _execute_cell(
-    cell: Callable[..., dict[str, Any]], call_params: dict[str, Any]
+    cell: Callable[..., dict[str, Any]],
+    call_params: dict[str, Any],
+    timeout: float | None = None,
 ) -> tuple[dict[str, Any], float]:
     """Worker entry point: run one cell kernel, timing it.
 
     Runs in the parent for sequential sweeps and in pool workers for parallel
-    ones.
+    ones.  With a ``timeout`` the kernel runs in a disposable child process
+    that is killed at the deadline (see :func:`_execute_cell_with_timeout`).
     """
     started = time.perf_counter()
-    outputs = cell(**call_params)
+    if timeout is not None:
+        outputs = _execute_cell_with_timeout(cell, call_params, timeout)
+    else:
+        outputs = cell(**call_params)
     return outputs, time.perf_counter() - started
+
+
+def _timeout_cell_worker(
+    cell: Callable[..., dict[str, Any]], call_params: dict[str, Any], pipe
+) -> None:
+    """Child-process entry point for budgeted cells: outcome down the pipe."""
+    try:
+        pipe.send(("ok", cell(**call_params)))
+    except BaseException as error:  # noqa: BLE001 - relayed to the parent
+        try:
+            pipe.send(("error", error))
+        except Exception:
+            pipe.send(("error", RuntimeError(repr(error))))
+    finally:
+        pipe.close()
+
+
+def _execute_cell_with_timeout(
+    cell: Callable[..., dict[str, Any]], call_params: dict[str, Any], timeout: float
+) -> dict[str, Any]:
+    """Run one kernel under a wall-clock budget; kill and record on overrun.
+
+    A cell that exceeds the budget is terminated and reported as
+    ``{"timed_out": True, "cell_timeout": <budget>}`` instead of hanging the
+    sweep.  Environments where a child process cannot start (restricted
+    sandboxes) degrade to inline execution — no enforcement, but no failure.
+    Kernel errors re-raise in the caller, exactly like the un-budgeted path.
+    """
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    try:
+        receiver, sender = context.Pipe(duplex=False)
+    except (OSError, PermissionError):
+        return cell(**call_params)
+    try:
+        child = context.Process(
+            target=_timeout_cell_worker, args=(cell, call_params, sender)
+        )
+        child.start()
+    except (OSError, PermissionError, pickle.PicklingError, AttributeError):
+        receiver.close()
+        sender.close()
+        return cell(**call_params)
+    sender.close()
+    try:
+        if receiver.poll(timeout):
+            try:
+                status, payload = receiver.recv()
+            except EOFError:
+                child.join()
+                raise RuntimeError(
+                    f"cell worker died without reporting (exit code "
+                    f"{child.exitcode})"
+                ) from None
+            child.join()
+            if status == "error":
+                raise payload
+            return payload
+        child.terminate()
+        child.join()
+        return {"timed_out": True, "cell_timeout": timeout}
+    finally:
+        receiver.close()
 
 
 class SweepRunner:
@@ -98,7 +168,9 @@ class SweepRunner:
         if not parallel:
             fresh = []
             for cell in todo:
-                outcome = _execute_cell(self.spec.cell, cell.call_params)
+                outcome = _execute_cell(
+                    self.spec.cell, cell.call_params, self.spec.cell_timeout
+                )
                 if checkpointing:
                     self._checkpoint(spec_hash, cell, outcome)
                 fresh.append(outcome)
@@ -156,6 +228,11 @@ class SweepRunner:
         self, spec_hash: str, cell: SweepCell, outcome: tuple[dict[str, Any], float]
     ) -> None:
         outputs, cell_wall = outcome
+        # A timed-out placeholder is not a finished measurement: leaving it
+        # un-checkpointed lets a later --resume retry the cell (e.g. after
+        # transient machine load) instead of keeping the poisoned row forever.
+        if isinstance(outputs, dict) and outputs.get("timed_out"):
+            return
         self.store.save_cell(
             self.spec.name, spec_hash, cell.index, cell.seed, outputs, cell_wall
         )
@@ -181,7 +258,12 @@ class SweepRunner:
                 max_workers=min(self.jobs, len(cells)), mp_context=context
             ) as pool:
                 futures = {
-                    pool.submit(_execute_cell, self.spec.cell, cell.call_params): cell
+                    pool.submit(
+                        _execute_cell,
+                        self.spec.cell,
+                        cell.call_params,
+                        self.spec.cell_timeout,
+                    ): cell
                     for cell in cells
                 }
                 if checkpoint_hash is not None:

@@ -110,6 +110,13 @@ class ScenarioSpec:
     #: accept that keyword — :func:`~repro.scenarios.engine.benchmark_cell`
     #: does); a scale preset may override the list under the same key.
     components: tuple[Mapping[str, Any], ...] = ()
+    #: wall-clock budget per cell, in seconds.  ``None`` (default) never
+    #: interrupts a cell; with a budget the runner executes each cell in a
+    #: disposable child process, kills it at the deadline and records
+    #: ``{"timed_out": True, "cell_timeout": <budget>}`` as the cell's
+    #: outputs instead of hanging the sweep (a ``reduce`` must tolerate such
+    #: cells when a spec opts in).
+    cell_timeout: float | None = None
     #: optional aggregation of cell results into the figure's rows.
     reduce: Callable[[list[CellResult]], list[dict[str, Any]]] | None = None
 
@@ -118,6 +125,10 @@ class ScenarioSpec:
             raise ConfigurationError("scenario name must be non-empty")
         if not callable(self.cell):
             raise ConfigurationError(f"scenario {self.name!r} cell must be callable")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ConfigurationError(
+                f"scenario {self.name!r} cell_timeout must be positive"
+            )
         axis_names = [axis.name for axis in self.axes]
         if len(set(axis_names)) != len(axis_names):
             raise ConfigurationError(f"scenario {self.name!r} has duplicate axes")
@@ -218,7 +229,7 @@ class ScenarioSpec:
     def manifest(self, plan: "SweepPlan | None" = None) -> dict[str, Any]:
         """JSON-able description of the spec (or of one resolved plan)."""
         plan = plan or self.resolve()
-        return {
+        manifest: dict[str, Any] = {
             "schema": SCHEMA_VERSION,
             "name": self.name,
             "title": self.title,
@@ -233,6 +244,11 @@ class ScenarioSpec:
             "seeds": list(plan.seeds),
             "outputs": list(self.outputs),
         }
+        # Only stamped when set, so specs without a budget keep their
+        # historical spec hashes (and their resume checkpoints).
+        if self.cell_timeout is not None:
+            manifest["cell_timeout"] = self.cell_timeout
+        return manifest
 
     def spec_hash(self, plan: "SweepPlan | None" = None) -> str:
         """Stable fingerprint of the resolved sweep (name, cell, parameters)."""

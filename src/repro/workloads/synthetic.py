@@ -33,13 +33,23 @@ class SubmissionRecord:
 
 @dataclass
 class SyntheticWorkload:
-    """A batch of identical, non-blocking RPC calls."""
+    """A batch of non-blocking RPC calls (identical by default).
+
+    ``exec_time_spread`` makes the batch heterogeneous: call *i* runs for
+    ``exec_time * (1 + spread * f_i)`` with a deterministic, irregular
+    ``f_i`` in [0, 1] (a Knuth-hash sawtooth — no RNG stream is consumed, so
+    enabling the spread perturbs nothing else).  Scheduling-policy ablations
+    need this: with identical durations every order of a uniform backlog
+    finishes at the same instant.
+    """
 
     n_calls: int = 16
     exec_time: float = 1.0
     params_bytes: int = 1024
     result_bytes: int = 64
     service: str = "sleep"
+    #: 0.0 keeps every call at exactly ``exec_time`` (the paper's benchmark).
+    exec_time_spread: float = 0.0
     #: filled as the workload runs.
     submissions: list[SubmissionRecord] = field(default_factory=list)
     handles: list[RPCHandle] = field(default_factory=list)
@@ -66,17 +76,31 @@ class SyntheticWorkload:
         """How many calls have their result."""
         return sum(1 for handle in self.handles if handle.done)
 
+    def exec_time_for(self, index: int) -> float:
+        """Declared execution time of call ``index``."""
+        if not self.exec_time_spread:
+            return self.exec_time
+        fraction = ((index * 2654435761) % 97) / 96
+        return self.exec_time * (1.0 + self.exec_time_spread * fraction)
+
+    @property
+    def total_work(self) -> float:
+        """Serial execution time of the whole batch (ideal-time numerator)."""
+        if not self.exec_time_spread:
+            return self.exec_time * self.n_calls
+        return sum(self.exec_time_for(i) for i in range(self.n_calls))
+
     # -- process ---------------------------------------------------------------------
     def submit_only(self, client: ClientComponent):
         """Process: submit every call without waiting for results."""
         self.started_at = client.env.now
-        for _ in range(self.n_calls):
+        for index in range(self.n_calls):
             start = client.env.now
             handle = yield from client.call_async(
                 self.service,
                 params_bytes=self.params_bytes,
                 result_bytes=self.result_bytes,
-                exec_time=self.exec_time,
+                exec_time=self.exec_time_for(index),
             )
             self.handles.append(handle)
             self.submissions.append(

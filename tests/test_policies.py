@@ -1,0 +1,480 @@
+"""Tests for the pluggable policy layer (policy.* registry, wiring, sweeps)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines import (
+    POLICY_BUNDLES,
+    no_fault_tolerance_protocol,
+    protocol_from_bundle,
+    rpcv_protocol,
+)
+from repro.config import (
+    LoggingConfig,
+    PolicyConfig,
+    ProtocolConfig,
+    ReplicationConfig,
+    SchedulerConfig,
+)
+from repro.errors import ConfigurationError
+from repro.grid.builder import build_confined_cluster
+from repro.platform.registry import component_names, create_component
+from repro.policies import (
+    FastestFirstSchedulerPolicy,
+    FifoReschedulePolicy,
+    NoReplication,
+    OnCommitReplication,
+    OptimisticLogging,
+    PassivePeriodicReplication,
+    PessimisticNonBlockingLogging,
+    RandomSchedulerPolicy,
+    RoundRobinSchedulerPolicy,
+    SchedulerPolicy,
+    logging_policy_from,
+    replication_policy_from,
+    scheduler_policy_from,
+)
+from repro.scenarios import Axis, ScenarioSpec, run_scenario
+from repro.scenarios.engine import benchmark_cell, resolve_protocol
+from repro.scenarios.library import SCHEDULER_POLICIES
+from repro.scenarios.runner import SweepRunner
+from repro.sim.rng import RandomStreams
+from repro.types import Address, LoggingStrategy, TaskState
+from tests.test_core_units import make_task
+
+SERVER = Address("server", "s0")
+
+#: a fast benchmark_cell parameterisation shared by the equivalence tests.
+MICRO = dict(
+    n_calls=8, exec_time=2.0, n_servers=4, n_coordinators=2, horizon=1500.0,
+    seed=7,
+)
+
+
+class TestRegistryRoundTrip:
+    def test_all_policies_are_registered(self):
+        names = set(component_names())
+        assert set(SCHEDULER_POLICIES) <= names
+        assert {
+            "policy.repl.passive-periodic", "policy.repl.none",
+            "policy.repl.on-commit", "policy.log.pessimistic-blocking",
+            "policy.log.pessimistic-nonblocking", "policy.log.optimistic",
+        } <= names
+
+    def test_create_component_round_trip(self):
+        policy = create_component("policy.sched.round-robin", {"reschedule": False})
+        assert isinstance(policy, RoundRobinSchedulerPolicy)
+        assert policy.reschedule is False
+        assert policy.key == "policy.sched.round-robin"
+
+    def test_unknown_policy_fails_with_known_names(self):
+        with pytest.raises(ConfigurationError, match="unknown component"):
+            create_component("policy.sched.telepathic")
+
+    def test_entry_shapes(self):
+        assert isinstance(
+            scheduler_policy_from(SchedulerConfig(), "policy.sched.random"),
+            RandomSchedulerPolicy,
+        )
+        assert isinstance(
+            scheduler_policy_from(
+                SchedulerConfig(),
+                {"name": "policy.sched.fastest-first", "params": {"reschedule": False}},
+            ),
+            FastestFirstSchedulerPolicy,
+        )
+        with pytest.raises(ConfigurationError, match="name"):
+            scheduler_policy_from(SchedulerConfig(), {"params": {}})
+        with pytest.raises(ConfigurationError, match="not a SchedulerPolicy"):
+            scheduler_policy_from(SchedulerConfig(), "policy.repl.none")
+
+
+class TestDefaultDerivation:
+    def test_scheduler_defaults_track_the_flags(self):
+        policy = scheduler_policy_from(SchedulerConfig())
+        assert isinstance(policy, FifoReschedulePolicy)
+        assert policy.reschedule is True
+        off = scheduler_policy_from(SchedulerConfig(reschedule_on_suspicion=False))
+        assert off.reschedule is False
+
+    def test_replication_defaults_track_the_flags(self):
+        periodic = replication_policy_from(ReplicationConfig(period=7.0))
+        assert isinstance(periodic, PassivePeriodicReplication)
+        assert periodic.period == 7.0
+        assert isinstance(
+            replication_policy_from(ReplicationConfig(enabled=False)), NoReplication
+        )
+
+    def test_logging_defaults_track_the_strategy(self):
+        assert isinstance(
+            logging_policy_from(LoggingConfig()), PessimisticNonBlockingLogging
+        )
+        assert isinstance(
+            logging_policy_from(LoggingConfig(strategy=LoggingStrategy.OPTIMISTIC)),
+            OptimisticLogging,
+        )
+
+
+class TestSchedulerVariants:
+    def _tasks(self, n=5):
+        tasks = {}
+        for i in range(1, n + 1):
+            task = make_task(i)
+            task.call.exec_time = float(n + 1 - i)  # later submissions shorter
+            tasks[i] = task
+        return tasks
+
+    def test_fifo_picks_oldest(self):
+        decision = FifoReschedulePolicy().pick(
+            self._tasks(), SERVER, "k0", lambda _o: False, now=0.0
+        )
+        assert decision.task.identity.rpc.value == 1
+
+    def test_fastest_first_picks_shortest(self):
+        decision = FastestFirstSchedulerPolicy().pick(
+            self._tasks(), SERVER, "k0", lambda _o: False, now=0.0
+        )
+        assert decision.task.identity.rpc.value == 5  # shortest exec_time
+
+    def test_round_robin_rotates(self):
+        policy = RoundRobinSchedulerPolicy()
+        tasks = self._tasks(3)
+        first = policy.pick(tasks, SERVER, "k0", lambda _o: False, now=0.0)
+        # Reset so the same eligible set is offered again.
+        first.task.state = TaskState.PENDING
+        second = policy.pick(tasks, SERVER, "k0", lambda _o: False, now=0.0)
+        assert first.task.identity.rpc.value == 1
+        assert second.task.identity.rpc.value == 2
+
+    def test_random_is_deterministic_per_bound_stream(self):
+        def picks():
+            policy = RandomSchedulerPolicy().bind(owner="k0", rng=RandomStreams(42))
+            sequence = []
+            for _ in range(6):
+                tasks = self._tasks()
+                decision = policy.pick(tasks, SERVER, "k0", lambda _o: False, now=0.0)
+                sequence.append(decision.task.identity.rpc.value)
+            return sequence
+
+        assert picks() == picks()
+
+    def test_random_requires_a_bound_rng(self):
+        with pytest.raises(ConfigurationError, match="never bound"):
+            RandomSchedulerPolicy().pick(
+                self._tasks(), SERVER, "k0", lambda _o: False, now=0.0
+            )
+
+    def test_reschedule_switch(self):
+        task = make_task(1, state=TaskState.ONGOING, owner="k0")
+        task.assigned_server = SERVER
+        held = FifoReschedulePolicy(reschedule=False)
+        assert held.reschedule_for_suspected_server({1: task}, SERVER, "k0") == []
+        released = FifoReschedulePolicy()
+        assert len(released.reschedule_for_suspected_server({1: task}, SERVER, "k0")) == 1
+
+
+class TestPresetBundleEquivalence:
+    def test_presets_carry_their_bundles(self):
+        protocol = rpcv_protocol()
+        assert protocol.policy.replication["name"] == "policy.repl.passive-periodic"
+        assert protocol.coordinator.replication.period == 5.0
+        no_ft = no_fault_tolerance_protocol()
+        assert no_ft.policy.replication["name"] == "policy.repl.none"
+        assert no_ft.coordinator.replication.enabled is False
+        assert no_ft.coordinator.scheduler.reschedule_on_suspicion is False
+        assert no_ft.client.logging.strategy is LoggingStrategy.OPTIMISTIC
+
+    def test_unknown_bundle_and_axis_raise(self):
+        with pytest.raises(ConfigurationError, match="unknown policy bundle"):
+            protocol_from_bundle("xtremweb")
+        with pytest.raises(ConfigurationError, match="unknown policy bundle axes"):
+            protocol_from_bundle({"sched": "policy.sched.random"})
+
+    def test_preset_rows_equal_explicit_policy_bundle_rows(self):
+        """A preset and its bundle spelled out as overrides run identically."""
+        preset = benchmark_cell(protocol_preset="no-replication", **MICRO)
+        bundle = POLICY_BUNDLES["no-fault-tolerance"]
+        explicit = benchmark_cell(
+            scheduler_policy=bundle["scheduler"],
+            replication_policy=bundle["replication"],
+            logging_policy=bundle["logging"],
+            **MICRO,
+        )
+        assert preset == explicit
+
+    def test_policy_override_path_reaches_the_grid(self):
+        protocol = resolve_protocol(
+            None, {"policy.scheduler": "policy.sched.round-robin"}
+        )
+        grid = build_confined_cluster(
+            n_servers=1, n_coordinators=1, protocol=protocol, seed=1
+        )
+        grid.start()
+        assert grid.coordinators[0].scheduler.key == "policy.sched.round-robin"
+        assert "policies" in grid.stats()
+
+    def test_bad_policy_override_fails_fast(self):
+        with pytest.raises(ConfigurationError, match="unknown component"):
+            resolve_protocol(None, {"policy.scheduler": "policy.sched.nope"})
+
+    def test_policy_override_mirrors_the_legacy_flags(self):
+        protocol = resolve_protocol(
+            None,
+            {"policy.replication": "policy.repl.none",
+             "policy.logging": "policy.log.optimistic"},
+        )
+        assert protocol.coordinator.replication.enabled is False
+        assert protocol.client.logging.strategy is LoggingStrategy.OPTIMISTIC
+        assert protocol.describe()["replication_enabled"] is False
+
+    def test_scheduler_entry_inherits_the_reschedule_flag(self):
+        # Swapping the scheduling order on a degraded baseline must not
+        # silently re-enable the rescheduling the baseline turned off.
+        protocol = resolve_protocol(
+            "no-replication", {"policy.scheduler": "policy.sched.random"}
+        )
+        policy = scheduler_policy_from(
+            protocol.coordinator.scheduler, protocol.policy.scheduler
+        )
+        assert isinstance(policy, RandomSchedulerPolicy)
+        assert policy.reschedule is False
+        # An explicit param still wins over the flag.
+        explicit = scheduler_policy_from(
+            protocol.coordinator.scheduler,
+            {"name": "policy.sched.random", "params": {"reschedule": True}},
+        )
+        assert explicit.reschedule is True
+
+    def test_reschedule_flag_override_keeps_the_selected_ordering(self):
+        # The scheduler flag only expresses the reschedule switch; overriding
+        # it must rewrite the entry's param, not discard the chosen ordering
+        # (even when a preset bundle spelled the param out explicitly).
+        protocol = resolve_protocol(
+            "rpc-v",
+            {"policy.scheduler": "policy.sched.random",
+             "coordinator.scheduler.reschedule_on_suspicion": False},
+        )
+        assert protocol.policy.scheduler["name"] == "policy.sched.random"
+        policy = scheduler_policy_from(
+            protocol.coordinator.scheduler, protocol.policy.scheduler
+        )
+        assert isinstance(policy, RandomSchedulerPolicy)
+        assert policy.reschedule is False
+
+    def test_describe_reports_the_effective_scheduler(self):
+        assert ProtocolConfig().describe()["scheduler_policy"] == "fcfs"
+        protocol = resolve_protocol(
+            None, {"policy.scheduler": "policy.sched.round-robin"}
+        )
+        assert protocol.describe()["scheduler_policy"] == "policy.sched.round-robin"
+
+    def test_legacy_flag_override_clears_the_shadowing_entry(self):
+        # A preset bundles policy entries; explicitly overriding the legacy
+        # flag re-asserts the flags as that axis' source of truth.
+        protocol = resolve_protocol(
+            "rpc-v", {"coordinator.replication.enabled": False}
+        )
+        assert protocol.policy.replication is None
+        assert isinstance(
+            replication_policy_from(
+                protocol.coordinator.replication, protocol.policy.replication
+            ),
+            NoReplication,
+        )
+        # The untouched axes keep their bundle entries.
+        assert protocol.policy.scheduler["name"] == "policy.sched.fifo-reschedule"
+
+
+class TestOnCommitReplication:
+    def test_on_commit_replicates_without_waiting_for_the_period(self):
+        protocol = ProtocolConfig()
+        protocol.coordinator.replication.period = 1000.0  # periodic would idle
+        protocol.policy = PolicyConfig(
+            replication={"name": "policy.repl.on-commit", "params": {"min_interval": 1.0}}
+        )
+        grid = build_confined_cluster(
+            n_servers=2, n_coordinators=2, protocol=protocol, seed=3
+        )
+        grid.start()
+        assert isinstance(grid.coordinators[0].replication_policy, OnCommitReplication)
+        from repro.core.protocol import CallDescription
+        from repro.types import CallIdentity, RPCId, SessionId, UserId
+
+        grid.coordinators[0].preload_tasks(
+            [
+                CallDescription(
+                    identity=CallIdentity(
+                        user=UserId("u"), session=SessionId("s"), rpc=RPCId(1)
+                    ),
+                    service="sleep",
+                    params_bytes=64,
+                    exec_time=1.0,
+                )
+            ]
+        )
+        grid.run(until=50.0)
+        assert grid.monitor.count("coordinator.replications") >= 1
+        assert grid.monitor.count("policy.repl.on-commit.rounds") >= 1
+        # The backup learned the task long before the 1000 s period.
+        assert len(grid.coordinators[1].tasks) == 1
+
+
+class TestSchedAblationScenario:
+    def test_tiny_rows_are_distinct_per_policy_and_deterministic(self):
+        sequential = run_scenario("sched-ablation", scale="tiny", jobs=1)
+        parallel = run_scenario("sched-ablation", scale="tiny", jobs=2)
+        assert sequential.rows == parallel.rows
+        assert [row["scheduler_policy"] for row in sequential.rows] == list(
+            SCHEDULER_POLICIES
+        )
+        makespans = [row["mean_makespan_seconds"] for row in sequential.rows]
+        assert len(set(makespans)) == len(makespans), "policies produced equal rows"
+
+    def test_policy_counters_reach_the_cells(self):
+        outputs = benchmark_cell(
+            scheduler_policy="policy.sched.random", exec_time_spread=2.0, **MICRO
+        )
+        assert outputs["completed"] == MICRO["n_calls"]
+
+
+def _sleepy_cell(seed: int = 0, nap: float = 0.0, **_: object) -> dict:
+    """Module-level kernel for the timeout tests (crosses process boundaries)."""
+    if nap:
+        time.sleep(nap)
+    return {"napped": nap, "seed": seed}
+
+
+def _timeout_spec(nap_values, cell_timeout=0.5) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="timeout-sweep",
+        title="cell timeout test sweep",
+        cell=_sleepy_cell,
+        axes=(Axis("nap", tuple(nap_values)),),
+        seeds=(0,),
+        cell_timeout=cell_timeout,
+    )
+
+
+class TestCellTimeout:
+    def test_overrunning_cell_is_killed_and_recorded(self):
+        result = SweepRunner(_timeout_spec((0.0, 5.0), cell_timeout=0.4), jobs=1).run()
+        ok, slow = result.rows
+        assert ok["napped"] == 0.0
+        assert slow.get("timed_out") is True
+        assert slow.get("cell_timeout") == 0.4
+
+    def test_parallel_sweep_survives_a_timeout(self):
+        result = SweepRunner(_timeout_spec((0.0, 5.0, 0.0), cell_timeout=0.4), jobs=3).run()
+        assert [row.get("timed_out", False) for row in result.rows] == [
+            False, True, False,
+        ]
+
+    def test_fast_cells_are_untouched(self):
+        result = SweepRunner(_timeout_spec((0.0, 0.0), cell_timeout=5.0), jobs=1).run()
+        assert all("timed_out" not in row for row in result.rows)
+
+    def test_cell_errors_still_propagate(self):
+        spec = ScenarioSpec(
+            name="error-sweep", title="t", cell=_error_cell, seeds=(0,),
+            cell_timeout=5.0,
+        )
+        with pytest.raises(ValueError, match="boom"):
+            SweepRunner(spec, jobs=1).run()
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ConfigurationError, match="cell_timeout"):
+            _timeout_spec((0.0,), cell_timeout=-1.0)
+
+    def test_timed_out_cells_are_not_checkpointed(self, tmp_path):
+        from repro.scenarios import ResultsStore
+
+        store = ResultsStore(tmp_path)
+        spec = _timeout_spec((0.0, 5.0), cell_timeout=0.4)
+        result = SweepRunner(spec, jobs=1, store=store).run(save=True)
+        assert result.rows[1].get("timed_out") is True
+        # Only the finished cell is checkpointed; a --resume retries the
+        # timed-out one rather than keeping the placeholder forever.
+        checkpointed = store.load_cells("timeout-sweep", spec.spec_hash())
+        assert set(checkpointed) == {(0, 0)}
+        runner = SweepRunner(spec, jobs=1, store=store, resume=True)
+        runner.run()
+        assert runner.resumed_cells == 1
+
+    def test_timeout_stamps_the_manifest_only_when_set(self):
+        spec = _timeout_spec((0.0,), cell_timeout=1.0)
+        assert spec.manifest()["cell_timeout"] == 1.0
+        bare = ScenarioSpec(name="bare", title="t", cell=_sleepy_cell, seeds=(0,))
+        assert "cell_timeout" not in bare.manifest()
+
+
+def _error_cell(seed: int = 0, **_: object) -> dict:
+    raise ValueError("boom")
+
+
+class TestScriptedStepsAndPartitionedViews:
+    def test_scripted_steps_fire_on_conditions(self):
+        grid = build_confined_cluster(n_servers=2, n_coordinators=2, seed=5)
+        script = grid.add_component(
+            "inject.script",
+            {
+                "steps": [
+                    {"do": "note", "label": 1, "note": "armed"},
+                    {"after": 3.0, "do": "kill", "target": "server:s000",
+                     "label": 2, "note": "killed"},
+                    {"after": 2.0, "do": "restart", "target": "server:s000",
+                     "label": 3, "note": "restarted"},
+                ]
+            },
+        )
+        grid.start()
+        grid.run(until=10.0)
+        assert [record["label"] for record in script.recorded] == [1, 2, 3]
+        assert script.recorded[1]["time"] == pytest.approx(3.0)
+        assert grid.hosts[Address("server", "s000")].up
+
+    def test_scripted_steps_validate(self):
+        with pytest.raises(ConfigurationError, match="unknown step action"):
+            create_component("inject.script", {"steps": [{"do": "explode"}]})
+        with pytest.raises(ConfigurationError, match="unknown step condition"):
+            create_component(
+                "inject.script",
+                {"steps": [{"do": "note", "until": {"kind": "vibes"}}]},
+            )
+        with pytest.raises(ConfigurationError, match="missing at_least"):
+            create_component(
+                "inject.script",
+                {"steps": [{"do": "note", "until": {
+                    "kind": "finished-count", "coordinator": "x"}}]},
+            )
+
+    def test_scripted_steps_fail_fast_on_unknown_condition_coordinators(self):
+        grid = build_confined_cluster(n_servers=1, n_coordinators=2, seed=5)
+        with pytest.raises(ConfigurationError, match="unknown coordinators"):
+            grid.add_component(
+                "inject.script",
+                {"steps": [{
+                    "until": {"kind": "finished-count", "coordinator": "lile",
+                              "at_least": 1},
+                    "do": "note",
+                }]},
+            )
+
+    def test_partition_schedule_tier_hide_is_bidirectional(self):
+        grid = build_confined_cluster(n_servers=2, n_coordinators=2, seed=5)
+        hidden = grid.coordinators[0].address
+        grid.add_component(
+            "net.partition-schedule",
+            {
+                "events": [
+                    {"time": 0, "action": "hide", "dest": str(hidden),
+                     "source": "servers", "bidirectional": True},
+                ]
+            },
+        )
+        grid.start()
+        for server in grid.servers:
+            assert not grid.partitions.allows(server.address, hidden)
+            assert not grid.partitions.allows(hidden, server.address)

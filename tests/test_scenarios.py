@@ -27,6 +27,7 @@ EXPECTED_SCENARIOS = {
     "fig4-size", "fig4-calls", "fig5-size", "fig5-count", "fig6-size",
     "fig6-calls", "fig7", "fig8", "fig9", "fig10", "fig11",
     "ablation-baselines", "ablation-detector", "churn-survival",
+    "sched-ablation",
 }
 
 #: fast overrides for the fig7 sweep used by the determinism tests.
