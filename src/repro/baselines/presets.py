@@ -90,16 +90,16 @@ def protocol_from_bundle(
             raise ConfigurationError(
                 f"unknown policy bundle {bundle!r} (known: {known})"
             ) from None
-    unknown = set(bundle) - {"scheduler", "replication", "logging"}
+    unknown = set(bundle) - {"scheduler", "replication", "logging", "detection"}
     if unknown:
         # Checked before anything is applied, so a typoed axis never leaves
         # a passed-in protocol half-mutated.
         raise ConfigurationError(
             f"unknown policy bundle axes: {sorted(unknown)} "
-            "(expected scheduler/replication/logging)"
+            "(expected scheduler/replication/logging/detection)"
         )
     protocol = protocol or ProtocolConfig()
-    for axis in ("scheduler", "replication", "logging"):
+    for axis in ("scheduler", "replication", "logging", "detection"):
         entry = bundle.get(axis)
         if entry is None:
             continue

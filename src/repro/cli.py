@@ -78,7 +78,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH=VALUE",
         help="dotted-path protocol override, e.g. "
              "--set coordinator.replication.period=30 (repeatable; values "
-             "are parsed as JSON, falling back to strings)",
+             "are parsed as JSON, falling back to strings).  'faults.*' "
+             "paths route to the fault plan instead: faults.trace=FILE "
+             "replays a node,up,down availability trace "
+             "(faults.trace_mode=wrap|clamp), faults.kind / faults.target "
+             "override the injector kind and tier",
     )
     run.add_argument(
         "--resume", action="store_true",
@@ -140,6 +144,48 @@ def _parse_overrides(pairs: Sequence[str]) -> dict[str, Any]:
     return overrides
 
 
+#: ``--set faults.<key>=...`` routes to the cell kernel's fault plan instead
+#: of the protocol config; this maps each public key to its kernel keyword.
+_FAULT_OVERRIDE_KEYS = {
+    "trace": "fault_trace",
+    "trace_mode": "fault_trace_mode",
+    "kind": "fault_kind",
+    "target": "fault_target",
+}
+
+
+def _split_fault_overrides(
+    overrides: dict[str, Any]
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Split ``faults.*`` entries (cell keywords) from protocol overrides."""
+    protocol: dict[str, Any] = {}
+    faults: dict[str, Any] = {}
+    for path, value in overrides.items():
+        if path.startswith("faults."):
+            key = path[len("faults."):]
+            if key not in _FAULT_OVERRIDE_KEYS:
+                known = ", ".join(
+                    f"faults.{name}" for name in sorted(_FAULT_OVERRIDE_KEYS)
+                )
+                raise ConfigurationError(
+                    f"unknown fault override {path!r} (known: {known})"
+                )
+            faults[_FAULT_OVERRIDE_KEYS[key]] = value
+        else:
+            protocol[path] = value
+    return protocol, faults
+
+
+def _accepted_keywords(cell: Any) -> set[str]:
+    """Keyword parameter names a cell kernel accepts."""
+    return {
+        parameter.name
+        for parameter in inspect.signature(cell).parameters.values()
+        if parameter.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+
+
 def _protocol_params(
     spec: Any, preset: str | None, overrides: dict[str, Any]
 ) -> dict[str, Any] | None:
@@ -151,13 +197,7 @@ def _protocol_params(
     """
     if preset is None and not overrides:
         return {}
-    accepted = {
-        parameter.name
-        for parameter in inspect.signature(spec.cell).parameters.values()
-        if parameter.kind
-        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
-    }
-    if not {"protocol_preset", "protocol_overrides"} <= accepted:
+    if not {"protocol_preset", "protocol_overrides"} <= _accepted_keywords(spec.cell):
         return None
     params: dict[str, Any] = {}
     if preset is not None:
@@ -167,10 +207,24 @@ def _protocol_params(
     return params
 
 
+def _fault_params(
+    spec: Any, fault_overrides: dict[str, Any]
+) -> dict[str, Any] | None:
+    """The ``faults.*`` keywords for ``spec``'s cell kernel (gated like
+    :func:`_protocol_params`: ``None`` means the kernel can't take them)."""
+    if not fault_overrides:
+        return {}
+    if not set(fault_overrides) <= _accepted_keywords(spec.cell):
+        return None
+    return dict(fault_overrides)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = args.scenarios or list(all_scenarios())
     store = ResultsStore(args.out)
-    overrides = _parse_overrides(args.overrides)
+    overrides, fault_overrides = _split_fault_overrides(
+        _parse_overrides(args.overrides)
+    )
     # Fail fast on a bad preset name or a typo'd override path, before any
     # sweep burns time (the error already names the valid choices).
     resolve_protocol(args.protocol, overrides)
@@ -188,9 +242,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if protocol_params is None:
             print(f"-- {name}: cell kernel takes no protocol, skipping")
             continue
+        fault_params = _fault_params(spec, fault_overrides)
+        if fault_params is None:
+            print(f"-- {name}: cell kernel takes no fault plan, skipping")
+            continue
+        cell_params = {**protocol_params, **fault_params}
         runner = SweepRunner(
             spec, scale=scale, jobs=args.jobs, seeds=args.seeds, store=store,
-            params=protocol_params or None, resume=args.resume,
+            params=cell_params or None, resume=args.resume,
         )
         plan = runner.plan
         print(

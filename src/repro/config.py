@@ -210,6 +210,10 @@ class PolicyConfig:
     replication: Any = None
     #: client logging policy (``policy.log.*``).
     logging: Any = None
+    #: failure-detection policy (``policy.detect.*``), shared by the
+    #: coordinator's server/ring detectors and the server's coordinator
+    #: detector.
+    detection: Any = None
 
     def entries(self) -> dict[str, Any]:
         """The explicitly-set entries, by field name."""
@@ -219,6 +223,7 @@ class PolicyConfig:
                 ("scheduler", self.scheduler),
                 ("replication", self.replication),
                 ("logging", self.logging),
+                ("detection", self.detection),
             )
             if value is not None
         }
@@ -247,6 +252,7 @@ class PolicyConfig:
             ("scheduler", self.scheduler),
             ("replication", self.replication),
             ("logging", self.logging),
+            ("detection", self.detection),
         ):
             self._check(label, entry)
 

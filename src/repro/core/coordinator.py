@@ -37,7 +37,11 @@ from repro.core.protocol import (
 from repro.core.registry import CoordinatorRegistry
 from repro.core.replication import ReplicaState, build_state, merge_state
 from repro.core.synchronization import plan_client_sync, plan_server_sync
-from repro.policies.resolve import replication_policy_from, scheduler_policy_from
+from repro.policies.resolve import (
+    detection_policy_from,
+    replication_policy_from,
+    scheduler_policy_from,
+)
 from repro.detect import FailureDetector, HeartbeatEmitter
 from repro.net.message import Message, MessageType
 from repro.nodes.database import Database, DatabaseModel
@@ -84,13 +88,21 @@ class CoordinatorComponent:
         )
 
         # Volatile state (rebuilt by start()).
+        #: ground-truth oracle for suspicion accounting (installed by
+        #: setup() once the builder's network exists; metrics only).
+        self._ground_truth = None
         self.scheduler = self._make_scheduler()
         self.replication_policy = self._make_replication_policy()
-        self.server_detector = FailureDetector(self.config.detection)
-        self.coordinator_detector = FailureDetector(self.config.detection)
+        self.server_detector = self._make_detector()
+        self.coordinator_detector = self._make_detector()
         self.known_servers: set[Address] = set()
         self._dirty: set[tuple] = set()
         self._replica_ack_waiters: dict[int, Event] = {}
+        #: round id -> {"event", "acks", "needed"} for in-flight quorum rounds.
+        self._quorum_waiters: dict[int, dict[str, Any]] = {}
+        #: replica origin name -> freshest ``sent_at`` seen from it (used by
+        #: quorum recovery to elect the freshest surviving replica).
+        self._replica_freshness: dict[str, float] = {}
         #: key -> time of the last archive fetch attempt (retried if too old).
         self._archive_fetches_in_flight: dict[tuple, float] = {}
         self._archive_fetch_attempts: dict[tuple, int] = {}
@@ -104,8 +116,42 @@ class CoordinatorComponent:
 
     # ------------------------------------------------------------------ setup
     def setup(self, builder) -> None:
-        """Component lifecycle hook: the grid tier wiring already bound
-        everything this coordinator needs."""
+        """Component lifecycle hook: install the ground-truth oracle.
+
+        The builder's network knows whether an endpoint is actually up, so
+        suspicion transitions can be scored right/wrong (metrics only — the
+        protocol itself never consults ground truth).
+        """
+        network = builder.network
+
+        def actually_up(address, _network=network):
+            try:
+                return bool(_network.endpoint(address).up)
+            except Exception:
+                # Unknown endpoint (e.g. merged from a stale coordinator
+                # list): no verdict, err on the side of "up".
+                return True
+
+        self._ground_truth = actually_up
+        self.server_detector.ground_truth = actually_up
+        self.coordinator_detector.ground_truth = actually_up
+
+    def _make_detector(self) -> FailureDetector:
+        """Fresh failure detector for one incarnation (policy bound here).
+
+        The detector instance is volatile — a restarted coordinator starts
+        from a clean slate of opinions — but its suspicion accounting also
+        lands in the grid monitor's ``detect.*`` counters, which survive
+        restarts.
+        """
+        policy = detection_policy_from(self.config.detection, self.policies.detection)
+        policy.bind(owner=self.name, rng=self.host.rng, monitor=self.monitor)
+        return FailureDetector(
+            self.config.detection,
+            ground_truth=self._ground_truth,
+            policy=policy,
+            monitor=self.monitor,
+        )
 
     def _make_scheduler(self):
         """Fresh scheduling policy for one incarnation (bound to this host)."""
@@ -123,11 +169,12 @@ class CoordinatorComponent:
         """(Re)start the coordinator's loops; persistent state is already here."""
         self.scheduler = self._make_scheduler()
         self.replication_policy = self._make_replication_policy()
-        self.server_detector = FailureDetector(self.config.detection)
-        self.coordinator_detector = FailureDetector(self.config.detection)
+        self.server_detector = self._make_detector()
+        self.coordinator_detector = self._make_detector()
         self.known_servers = set()
         self._dirty = set(self.tasks.keys())  # resync everything after a restart
         self._replica_ack_waiters = {}
+        self._quorum_waiters = {}
         self._archive_fetches_in_flight = {}
         self._archive_fetch_attempts = {}
         self._task_activity = {}
@@ -256,12 +303,18 @@ class CoordinatorComponent:
             yield from self._on_replica_state(message)
         elif mtype is MessageType.REPLICA_ACK:
             self._on_replica_ack(message)
+        elif mtype is MessageType.REPLICA_PULL:
+            yield from self._on_replica_pull(message)
         elif mtype is MessageType.SERVER_HEARTBEAT:
             self._on_server_heartbeat(message)
         elif mtype is MessageType.CLIENT_HEARTBEAT:
             pass  # nothing to do beyond receiving it
         elif mtype is MessageType.COORD_HEARTBEAT:
-            self.coordinator_detector.heard_from(message.source, self.env.now)
+            self.coordinator_detector.heard_from(
+                message.source,
+                self.env.now,
+                incarnation=message.payload.get("incarnation"),
+            )
             self.registry.rehabilitate(message.source)
         elif mtype is MessageType.ARCHIVE_FETCH:
             yield from self._on_archive_fetch(message)
@@ -271,13 +324,15 @@ class CoordinatorComponent:
             self.host.send(message.reply(MessageType.PONG))
         # Unknown types are ignored (forward compatibility).
 
-    def _hear_server(self, server: Address) -> None:
+    def _hear_server(self, server: Address, incarnation: int | None = None) -> None:
         self.known_servers.add(server)
         self.server_detector.watch(server, self.env.now)
-        self.server_detector.heard_from(server, self.env.now)
+        self.server_detector.heard_from(server, self.env.now, incarnation=incarnation)
 
     def _on_server_heartbeat(self, message: Message) -> None:
-        self._hear_server(message.source)
+        self._hear_server(
+            message.source, incarnation=message.payload.get("incarnation")
+        )
         working_on = message.payload.get("working_on")
         if working_on is not None:
             self._task_activity[tuple(working_on)] = self.env.now
@@ -617,13 +672,118 @@ class CoordinatorComponent:
                 self._dirty.clear()
             return True
         # No acknowledgement: suspect the successor and recompute the ring.
-        self.registry.suspect(successor)
-        self.coordinator_detector.watch(successor, self.env.now - 2 * self.config.detection.suspicion_timeout)
-        self.monitor.incr("coordinator.replication_timeouts")
+        self.suspect_coordinator(successor)
         return False
+
+    def suspect_coordinator(self, coordinator: Address) -> None:
+        """Suspect a silent peer coordinator and recompute the virtual ring."""
+        self.registry.suspect(coordinator)
+        self.coordinator_detector.watch(
+            coordinator, self.env.now - 2 * self.config.detection.suspicion_timeout
+        )
+        self.monitor.incr("coordinator.replication_timeouts")
+
+    def replicate_quorum_once(self, targets: list[Address], quorum: int):
+        """One quorum round: push (dirty) state to ``targets`` in parallel.
+
+        Generator returning ``(acks, committed)``: the set of successors that
+        acknowledged within the suspicion timeout, and whether at least
+        ``quorum`` of them did.  The dirty set is only cleared on commit —
+        an under-acknowledged epoch is retried wholesale next round, so a
+        majority of replicas always carries every committed update.
+        """
+        if not targets:
+            return set(), False
+        quorum = max(1, min(int(quorum), len(targets)))
+        keys = set(self._dirty)
+        state = build_state(
+            origin=self.name,
+            tasks=self.tasks,
+            client_timestamps=self.client_timestamps,
+            known_coordinators=[(c.kind, c.name) for c in self.registry.known()],
+            only_keys=keys,
+            now=self.env.now,
+        )
+        round_id = self._replication_rounds
+        self._replication_rounds += 1
+        waiter: dict[str, Any] = {
+            "event": self.env.event(),
+            "acks": set(),
+            "needed": quorum,
+        }
+        self._quorum_waiters[round_id] = waiter
+        payload = {"state": state.to_payload(), "round": round_id}
+        for target in targets:
+            self.host.send(
+                Message(
+                    mtype=MessageType.REPLICA_STATE,
+                    source=self.address,
+                    dest=target,
+                    payload=payload,
+                    size_bytes=state.size_bytes,
+                )
+            )
+        self.monitor.incr("coordinator.replications")
+        yield from self.env.wait_any(
+            [waiter["event"]], timeout=self.config.detection.suspicion_timeout
+        )
+        self._quorum_waiters.pop(round_id, None)
+        acks = set(waiter["acks"])
+        committed = len(acks) >= quorum
+        if committed:
+            self._dirty -= keys
+            self.monitor.incr("coordinator.quorum_commits")
+        else:
+            self.monitor.incr("coordinator.quorum_aborts")
+        return acks, committed
+
+    def pull_replicas(self, targets: list[Address]) -> None:
+        """Ask ``targets`` for their full state abstract (crash recovery)."""
+        for target in targets:
+            self.host.send(
+                Message(
+                    mtype=MessageType.REPLICA_PULL,
+                    source=self.address,
+                    dest=target,
+                    payload={"requester": self.name},
+                    size_bytes=16,
+                )
+            )
+        self.monitor.incr("coordinator.replica_pulls", len(targets))
+
+    def elect_freshest_origin(self) -> str | None:
+        """The replica origin with the freshest abstract seen so far."""
+        if not self._replica_freshness:
+            return None
+        return max(self._replica_freshness, key=lambda o: self._replica_freshness[o])
+
+    def _on_replica_pull(self, message: Message):
+        """Serve a recovering peer the full current state abstract."""
+        state = build_state(
+            origin=self.name,
+            tasks=self.tasks,
+            client_timestamps=self.client_timestamps,
+            known_coordinators=[(c.kind, c.name) for c in self.registry.known()],
+            only_keys=None,
+            now=self.env.now,
+        )
+        yield from self._charge(self.database.charge_scan())
+        self.host.send(
+            message.reply(
+                MessageType.REPLICA_STATE,
+                payload={"state": state.to_payload(), "round": -1},
+                size_bytes=state.size_bytes,
+            )
+        )
+        self.monitor.incr("coordinator.replica_pulls_served")
 
     def _on_replica_state(self, message: Message):
         state = ReplicaState.from_payload(message.payload["state"])
+        if state.origin != self.name:
+            self._replica_freshness[state.origin] = max(
+                self._replica_freshness.get(state.origin, float("-inf")),
+                state.sent_at,
+            )
         outcome = merge_state(
             self.tasks,
             self.client_timestamps,
@@ -662,6 +822,14 @@ class CoordinatorComponent:
         waiter = self._replica_ack_waiters.pop(round_id, None)
         if waiter is not None and not waiter.triggered:
             waiter.succeed(True)
+        quorum = self._quorum_waiters.get(round_id)
+        if quorum is not None:
+            quorum["acks"].add(message.source)
+            if (
+                len(quorum["acks"]) >= quorum["needed"]
+                and not quorum["event"].triggered
+            ):
+                quorum["event"].succeed(True)
         self.coordinator_detector.heard_from(message.source, self.env.now)
 
     # ----------------------------------------------------------- server suspicion
@@ -721,4 +889,9 @@ class CoordinatorComponent:
             "scheduler_assignments": self.scheduler.assignments,
             "scheduler_dedup_holds": self.scheduler.dedup_holds,
             "replication_policy": self.replication_policy.key,
+            "detection_policy": getattr(self.server_detector.policy, "key", None),
+            "wrong_suspicions": (
+                self.server_detector.wrong_suspicions
+                + self.coordinator_detector.wrong_suspicions
+            ),
         }

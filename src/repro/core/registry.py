@@ -153,3 +153,25 @@ class CoordinatorRegistry:
             if candidate not in self.suspected:
                 return candidate
         return None
+
+    def ring_successors(self, me: Address, k: int) -> list[Address]:
+        """Up to ``k`` unsuspected successors of ``me``, in ring order.
+
+        The quorum replication policy pushes state to every returned address;
+        ``ring_successors(me, 1)`` is exactly ``[ring_successor(me)]``.
+        """
+        ordered = sorted(set(self.coordinators) | {me}, key=str)
+        if len(ordered) <= 1 or k < 1:
+            return []
+        start = ordered.index(me)
+        n = len(ordered)
+        successors: list[Address] = []
+        for step in range(1, n):
+            candidate = ordered[(start + step) % n]
+            if candidate == me:
+                continue
+            if candidate not in self.suspected:
+                successors.append(candidate)
+                if len(successors) == k:
+                    break
+        return successors

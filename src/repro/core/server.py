@@ -14,11 +14,12 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.config import ServerConfig
+from repro.config import PolicyConfig, ServerConfig
 from repro.core.protocol import CallDescription, ResultRecord, identity_to_key
 from repro.core.registry import CoordinatorRegistry
 from repro.core.services import ServiceRegistry, default_registry
 from repro.detect import FailureDetector, HeartbeatEmitter
+from repro.policies.resolve import detection_policy_from
 from repro.msglog import MessageLog
 from repro.net.message import Message, MessageType
 from repro.nodes.node import Host
@@ -39,6 +40,7 @@ class ServerComponent:
         config: ServerConfig | None = None,
         services: ServiceRegistry | None = None,
         monitor: Monitor | None = None,
+        policies: PolicyConfig | None = None,
     ) -> None:
         self.host = host
         self.env = host.env
@@ -48,6 +50,9 @@ class ServerComponent:
         self.services = services or default_registry()
         self.monitor = monitor or host.monitor
         self.name = str(host.address)
+        #: explicit ``policy.*`` selections; only the detection entry matters
+        #: for a server (scheduling and replication are coordinator-side).
+        self.policies = policies or PolicyConfig()
 
         # Volatile state (rebuilt by start()).
         self.result_log: MessageLog
@@ -65,10 +70,16 @@ class ServerComponent:
         """Component lifecycle hook: the grid tier wiring already bound
         everything this server needs."""
 
+    def _make_detector(self) -> FailureDetector:
+        """Fresh coordinator detector for one incarnation (policy bound)."""
+        policy = detection_policy_from(self.config.detection, self.policies.detection)
+        policy.bind(owner=self.name, rng=self.host.rng, monitor=self.monitor)
+        return FailureDetector(self.config.detection, policy=policy)
+
     def start(self) -> None:
         """(Re)start the server loops; unacknowledged results are resynced."""
         self.result_log = MessageLog(self.host, f"server:{self.host.address.name}")
-        self.detector = FailureDetector(self.config.detection)
+        self.detector = self._make_detector()
         self.current_task = None
         self._reply_waiters = []
         self.started = True
@@ -149,9 +160,12 @@ class ServerComponent:
         return None
 
     def _after_timeout(self, coordinator: Address) -> None:
-        """Switch coordinator when the silence exceeds the suspicion timeout."""
-        silence = self.detector.silence(coordinator, self.env.now)
-        if silence > self.config.detection.suspicion_timeout:
+        """Switch coordinator when the detection policy suspects it.
+
+        Under the default fixed-timeout policy this is exactly the
+        historical rule: silence beyond ``suspicion_timeout`` seconds.
+        """
+        if self.detector.is_suspected(coordinator, self.env.now):
             previous = coordinator
             new = self.registry.switch_preferred(away_from=coordinator)
             if new is not None and new != previous:

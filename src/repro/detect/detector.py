@@ -12,7 +12,7 @@ detector-ablation experiment).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.config import FaultDetectionConfig
 from repro.types import Address
@@ -39,8 +39,21 @@ class FailureDetector:
     #: optional ground-truth oracle, address -> is-up (metrics only; the
     #: protocol itself never consults it).
     ground_truth: Callable[[Address], bool] | None = None
+    #: optional ``policy.detect.*`` strategy (duck-typed to avoid importing
+    #: :mod:`repro.policies` here): ``observe(subject, gap)``,
+    #: ``forget(subject)`` and ``suspects(subject, silence, config)``.
+    #: ``None`` keeps the historical fixed-timeout rule byte-for-byte.
+    policy: Any = None
+    #: optional monitor whose ``<scope>.*`` counters mirror suspicion
+    #: transitions (counters survive the owning component's restarts, while
+    #: this detector instance does not).
+    monitor: Any = None
+    scope: str = "detect"
 
     last_heard: dict[Address, float] = field(default_factory=dict)
+    #: per-subject highest incarnation seen (only for subjects whose
+    #: messages carry one).
+    incarnations: dict[Address, int] = field(default_factory=dict)
     _suspected: set[Address] = field(default_factory=set)
     history: list[SuspicionEvent] = field(default_factory=list)
     wrong_suspicions: int = 0
@@ -54,14 +67,37 @@ class FailureDetector:
     def unwatch(self, subject: Address) -> None:
         """Stop monitoring ``subject`` entirely."""
         self.last_heard.pop(subject, None)
+        self.incarnations.pop(subject, None)
         self._suspected.discard(subject)
+        if self.policy is not None:
+            self.policy.forget(subject)
 
-    def heard_from(self, subject: Address, now: float) -> None:
+    def heard_from(
+        self, subject: Address, now: float, incarnation: int | None = None
+    ) -> None:
         """Record that any message (heart-beat or not) arrived from ``subject``.
 
         Hearing from a suspected component rehabilitates it: on an
         asynchronous network a suspicion is only ever an opinion.
+
+        When the message carries an ``incarnation`` higher than the last one
+        seen, the subject restarted: its silence window belongs to the dead
+        incarnation, so the gap across the restart must neither feed the
+        policy's inter-arrival statistics nor be inherited as last-heard
+        state by the fresh incarnation.
         """
+        previous = self.last_heard.get(subject)
+        restarted = False
+        if incarnation is not None:
+            known = self.incarnations.get(subject)
+            if known is None or incarnation > known:
+                self.incarnations[subject] = incarnation
+                restarted = known is not None
+        if self.policy is not None:
+            if restarted:
+                self.policy.forget(subject)
+            elif previous is not None and now > previous:
+                self.policy.observe(subject, now - previous)
         self.last_heard[subject] = now
         if subject in self._suspected:
             self._suspected.discard(subject)
@@ -79,7 +115,11 @@ class FailureDetector:
             return False
         if now < self.config.startup_grace:
             return False
-        suspected = self.silence(subject, now) > self.config.suspicion_timeout
+        silence = self.silence(subject, now)
+        if self.policy is not None:
+            suspected = bool(self.policy.suspects(subject, silence, self.config))
+        else:
+            suspected = silence > self.config.suspicion_timeout
         if suspected and subject not in self._suspected:
             self._suspected.add(subject)
             self._record(now, subject, suspected=True)
@@ -108,6 +148,13 @@ class FailureDetector:
             correct = (suspected and not actually_up) or (not suspected and actually_up)
             if suspected and actually_up:
                 self.wrong_suspicions += 1
+        if self.monitor is not None:
+            self.monitor.incr(
+                f"{self.scope}.suspicions" if suspected
+                else f"{self.scope}.rehabilitations"
+            )
+            if suspected and correct is False:
+                self.monitor.incr(f"{self.scope}.wrong_suspicions")
         self.history.append(
             SuspicionEvent(time=now, subject=subject, suspected=suspected, correct=correct)
         )

@@ -150,6 +150,11 @@ class HeartbeatEmitter:
         """
         count = 0
         payload = _snapshot_payload(self.payload())
+        if type(payload) is dict:
+            # Stamp the sender's incarnation so receivers can tell a fresh
+            # restart from a continuation of the silent incarnation (the
+            # detector resets last-heard state on an incarnation bump).
+            payload["incarnation"] = self.host.incarnation
         for target in self.targets():
             if target is None or target == self.host.address:
                 continue

@@ -18,6 +18,7 @@ from typing import Any
 
 from repro.config import FaultDetectionConfig
 from repro.detect import FailureDetector
+from repro.policies.resolve import detection_policy_from
 from repro.scenarios.engine import benchmark_cell
 from repro.scenarios.reducers import grouped, mean
 from repro.scenarios.registry import scenario
@@ -111,6 +112,7 @@ def detector_cell(
     observation_seconds: float = 3600.0,
     crash_at: float = 1800.0,
     seed: int = 0,
+    detection_policy: Any = None,
 ) -> dict[str, Any]:
     """One (heart-beat period, suspicion timeout) detector replay.
 
@@ -119,7 +121,9 @@ def detector_cell(
     through a :class:`~repro.detect.FailureDetector` and reports how long the
     real crash took to be suspected and how many wrong suspicions happened
     before it.  The trace is drawn from streams keyed by the period, so every
-    multiplier for one period sees the identical trace.
+    multiplier for one period sees the identical trace.  ``detection_policy``
+    optionally swaps the suspicion rule for a ``policy.detect.*`` entry, so
+    the same replay scores adaptive or accrual detectors.
     """
     rng = RandomStreams(seed)
     subject = Address("server", "watched")
@@ -135,9 +139,10 @@ def detector_cell(
     arrivals.sort()
 
     timeout = period * timeout_multiplier
-    detector = FailureDetector(
-        FaultDetectionConfig(heartbeat_period=period, suspicion_timeout=timeout)
-    )
+    config = FaultDetectionConfig(heartbeat_period=period, suspicion_timeout=timeout)
+    policy = detection_policy_from(config, detection_policy)
+    policy.bind(owner="detector-cell", rng=rng, monitor=None)
+    detector = FailureDetector(config, policy=policy)
     detector.watch(subject, 0.0)
     wrong = 0
     detection_time = None

@@ -390,6 +390,7 @@ def build_grid(
             config=spec.protocol.server,
             services=services,
             monitor=monitor,
+            policies=spec.protocol.policy,
         )
         grid.hosts[address] = host
         grid.servers.append(component)

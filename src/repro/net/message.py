@@ -53,6 +53,7 @@ class MessageType(enum.Enum):
     # coordinator <-> coordinator
     REPLICA_STATE = "replica-state"
     REPLICA_ACK = "replica-ack"
+    REPLICA_PULL = "replica-pull"
     COORD_HEARTBEAT = "coord-heartbeat"
     ARCHIVE_FETCH = "archive-fetch"
     ARCHIVE_REPLY = "archive-reply"

@@ -24,7 +24,13 @@ from repro.sim.core import Environment, ProcessKilled
 from repro.sim.monitor import Monitor
 from repro.sim.rng import RandomStreams
 
-__all__ = ["ChurnInjector", "FaultGenerator", "ScriptedEvent", "FaultScript"]
+__all__ = [
+    "ChurnInjector",
+    "CorrelatedFaults",
+    "FaultGenerator",
+    "ScriptedEvent",
+    "FaultScript",
+]
 
 
 class FaultGenerator:
@@ -190,6 +196,132 @@ class ChurnInjector:
                 host.restart()
                 self.restarts += 1
                 self.monitor.incr("churn.returns")
+
+
+class CorrelatedFaults:
+    """Correlated (group) failures: whole groups crash and return together.
+
+    Independent per-host churn underestimates the damage of power or network
+    events that take out a whole site at once.  This generator draws group
+    failures from a single Poisson process: each event picks one group,
+    kills every up member simultaneously, optionally partitions the group
+    from the rest of the grid while it is down, and restarts the whole group
+    together after an exponentially-distributed downtime.
+
+    All three draws (inter-event gap, group choice, downtime) come from
+    ``crn.``-prefixed streams and are made unconditionally per event, so two
+    policy arms sharing a ``crn_seed`` see the *identical* fault schedule
+    even when a chosen group happens to be already down in one arm.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        groups: Sequence[Sequence[Host]],
+        rng: RandomStreams,
+        rate_per_minute: float = 0.0,
+        mttr: float = 30.0,
+        all_hosts: Sequence[Host] | None = None,
+        partitions=None,
+        partition: bool = False,
+        monitor: Monitor | None = None,
+        name: str = "correlated",
+    ) -> None:
+        if rate_per_minute < 0:
+            raise ConfigurationError("rate_per_minute must be non-negative")
+        if mttr <= 0:
+            raise ConfigurationError("mttr must be positive")
+        cleaned = [list(group) for group in groups if group]
+        if groups and not cleaned:
+            raise ConfigurationError("correlated fault groups must be non-empty")
+        self.env = env
+        self.groups = cleaned
+        self.rng = rng
+        self.rate_per_minute = rate_per_minute
+        self.mttr = mttr
+        self.all_hosts = list(all_hosts) if all_hosts is not None else [
+            host for group in self.groups for host in group
+        ]
+        self.partitions = partitions
+        self.partition = partition
+        self.monitor = monitor or Monitor()
+        self.name = name
+        self.injected = 0
+        self.events = 0
+        self._running = False
+
+    def setup(self, builder) -> None:
+        """Component lifecycle hook: the generator binds at construction.
+
+        (The declarative, Builder-driven construction lives in
+        :class:`repro.platform.library.CorrelatedFaultInjector`.)
+        """
+
+    def start(self) -> None:
+        """Start injecting group failures (no-op at rate 0)."""
+        if self.rate_per_minute <= 0 or not self.groups:
+            return
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._run(), name=f"{self.name}:driver")
+
+    def stop(self) -> None:
+        """Stop injecting further events (in-flight recoveries still happen)."""
+        self._running = False
+
+    def _run(self):
+        mean_gap = 60.0 / self.rate_per_minute
+        while self._running:
+            # All draws happen before any state-dependent branching so the
+            # crn.* streams advance identically across paired policy arms.
+            gap = self.rng.exponential(f"crn.{self.name}.gap", mean_gap)
+            yield self.env.timeout(gap)
+            choice = int(
+                self.rng.stream(f"crn.{self.name}.group").integers(0, len(self.groups))
+            )
+            downtime = self.rng.exponential(f"crn.{self.name}.down", self.mttr)
+            if not self._running:
+                return
+            group = self.groups[choice]
+            victims = [host for host in group if host.up]
+            partition_name: str | None = None
+            if victims:
+                self.events += 1
+                self.monitor.incr("correlated.events")
+                for host in victims:
+                    self.injected += 1
+                    self.monitor.incr("correlated.kills")
+                    host.crash(cause=self.name)
+                if self.partition and self.partitions is not None:
+                    partition_name = f"{self.name}:{self.events}"
+                    inside = [host.address for host in group]
+                    outside = [
+                        host.address
+                        for host in self.all_hosts
+                        if host not in group
+                    ]
+                    if outside:
+                        self.partitions.partition(partition_name, inside, outside)
+                        self.monitor.incr("correlated.partitions")
+                    else:
+                        partition_name = None
+            self.env.process(
+                self._recover(list(group), downtime, partition_name),
+                name=f"{self.name}:recover",
+            )
+
+    def _recover(self, group: list[Host], downtime: float, partition_name: str | None):
+        try:
+            yield self.env.timeout(downtime)
+        except ProcessKilled:  # pragma: no cover - defensive
+            return
+        if partition_name is not None:
+            self.partitions.heal(partition_name)
+        for host in group:
+            if not host.up:
+                host.restart()
+                self.monitor.incr("correlated.restarts")
 
 
 @dataclass(frozen=True)

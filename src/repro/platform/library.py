@@ -28,8 +28,13 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 from repro.detect.heartbeat import HeartbeatEmitter
 from repro.errors import ConfigurationError
 from repro.net.message import MessageType
-from repro.nodes.churn import ChurnModel, ExponentialChurn
-from repro.nodes.faultgen import ChurnInjector, FaultGenerator, FaultScript
+from repro.nodes.churn import ChurnModel, ExponentialChurn, TraceChurn
+from repro.nodes.faultgen import (
+    ChurnInjector,
+    CorrelatedFaults,
+    FaultGenerator,
+    FaultScript,
+)
 from repro.platform.component import BaseComponent
 from repro.platform.registry import component
 
@@ -38,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ChurnInjectorComponent",
+    "CorrelatedFaultInjector",
     "HeartbeatBeacon",
     "PartitionSchedule",
     "RateFaultInjector",
@@ -89,7 +95,15 @@ class RateFaultInjector(BaseComponent):
 
 @component("inject.churn")
 class ChurnInjectorComponent(BaseComponent):
-    """Per-host volatility: every host of a tier churns independently."""
+    """Per-host volatility: every host of a tier churns independently.
+
+    The availability schedule comes from, in order of precedence: an explicit
+    ``model`` object, a ``trace`` CSV file of absolute ``node,up,down``
+    availability intervals (see :meth:`repro.nodes.churn.TraceChurn.from_csv`;
+    ``trace_mode`` decides whether an exhausted trace wraps or clamps the
+    node down permanently), inline deterministic ``trace_pairs``
+    (``[[up, down], ...]`` durations), or the exponential MTBF/MTTR model.
+    """
 
     def __init__(
         self,
@@ -98,13 +112,26 @@ class ChurnInjectorComponent(BaseComponent):
         mttr: float = 30.0,
         permanent_fraction: float = 0.0,
         model: ChurnModel | None = None,
+        trace: str | None = None,
+        trace_mode: str = "wrap",
+        trace_pairs: Sequence[Sequence[float]] | None = None,
         name: str | None = None,
     ) -> None:
         super().__init__(name or f"churn-{target}")
         self.target = target
-        self.model = model or ExponentialChurn(
-            mtbf=mtbf, mttr=mttr, permanent_fraction=permanent_fraction
-        )
+        if model is not None:
+            self.model = model
+        elif trace is not None:
+            self.model = TraceChurn.from_csv(trace, mode=trace_mode)
+        elif trace_pairs is not None:
+            self.model = TraceChurn(
+                pairs=[(float(up), float(down)) for up, down in trace_pairs],
+                mode=trace_mode,
+            )
+        else:
+            self.model = ExponentialChurn(
+                mtbf=mtbf, mttr=mttr, permanent_fraction=permanent_fraction
+            )
         self.injector: ChurnInjector | None = None
 
     def setup(self, builder: "Builder") -> None:
@@ -128,6 +155,79 @@ class ChurnInjectorComponent(BaseComponent):
     @property
     def injected(self) -> int:
         """Departures injected so far (the ``faults_injected`` output)."""
+        return self.injector.injected if self.injector is not None else 0
+
+
+@component("inject.correlated")
+class CorrelatedFaultInjector(BaseComponent):
+    """Correlated group failures: whole groups of a tier fail together.
+
+    ``groups`` names the failure domains explicitly (a list of host-name
+    lists); without it the tier's hosts are chunked into consecutive groups
+    of ``group_size``.  Each Poisson event (aggregate ``rate_per_minute``)
+    kills one whole group, optionally ``partition``-ing it from the rest of
+    the grid while it is down, and restarts the group together after an
+    exponential ``mttr``.  All draws come from shared ``crn.*`` streams, so
+    sweeps paired on a ``crn_seed`` replay identical group-failure schedules
+    across policy arms.
+    """
+
+    def __init__(
+        self,
+        target: str = "servers",
+        groups: Sequence[Sequence[str]] | None = None,
+        group_size: int = 2,
+        rate_per_minute: float = 0.0,
+        mttr: float = 30.0,
+        partition: bool = False,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or f"correlated-{target}")
+        if groups is None and group_size < 1:
+            raise ConfigurationError("group_size must be at least 1")
+        self.target = target
+        self.groups = [list(group) for group in groups] if groups is not None else None
+        self.group_size = group_size
+        self.rate_per_minute = rate_per_minute
+        self.mttr = mttr
+        self.partition = partition
+        self.injector: CorrelatedFaults | None = None
+
+    def setup(self, builder: "Builder") -> None:
+        if self.groups is not None:
+            host_groups = [
+                [builder.host(entry) for entry in group] for group in self.groups
+            ]
+        else:
+            tier = builder.hosts(self.target)
+            host_groups = [
+                tier[index : index + self.group_size]
+                for index in range(0, len(tier), self.group_size)
+            ]
+        self.injector = CorrelatedFaults(
+            env=builder.env,
+            groups=host_groups,
+            rng=builder.rng,
+            rate_per_minute=self.rate_per_minute,
+            mttr=self.mttr,
+            all_hosts=builder.hosts("all"),
+            partitions=builder.partitions if self.partition else None,
+            partition=self.partition,
+            monitor=builder.monitor,
+            name=self.name,
+        )
+
+    def start(self) -> None:
+        assert self.injector is not None, "setup() must run before start()"
+        self.injector.start()
+
+    def stop(self) -> None:
+        if self.injector is not None:
+            self.injector.stop()
+
+    @property
+    def injected(self) -> int:
+        """Hosts killed so far (the ``faults_injected`` output)."""
         return self.injector.injected if self.injector is not None else 0
 
 

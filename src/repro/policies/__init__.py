@@ -9,7 +9,9 @@ strategy objects carved out of them:
 * :mod:`repro.policies.replication` — when the coordinator propagates state
   to its ring successor (``policy.repl.*``);
 * :mod:`repro.policies.logging`     — when log-record durability may delay a
-  client communication (``policy.log.*``).
+  client communication (``policy.log.*``);
+* :mod:`repro.policies.detection`   — when a silent component tips over into
+  suspicion (``policy.detect.*``).
 
 Every policy is registered in the platform registry under its ``policy.*``
 key, so scenarios select them exactly like injectors: by name with plain
@@ -20,6 +22,12 @@ legacy tier-config flags onto the equivalent built-ins when no entry is set.
 """
 
 from repro.policies.base import PolicyBase
+from repro.policies.detection import (
+    AdaptiveTimeoutDetection,
+    DetectionPolicy,
+    FixedTimeoutDetection,
+    PhiAccrualDetection,
+)
 from repro.policies.logging import (
     LoggingPolicy,
     OptimisticLogging,
@@ -30,9 +38,11 @@ from repro.policies.replication import (
     NoReplication,
     OnCommitReplication,
     PassivePeriodicReplication,
+    QuorumReplication,
     ReplicationPolicy,
 )
 from repro.policies.resolve import (
+    detection_policy_from,
     logging_policy_from,
     normalize_policy_entry,
     replication_policy_from,
@@ -49,8 +59,11 @@ from repro.policies.scheduling import (
 )
 
 __all__ = [
+    "AdaptiveTimeoutDetection",
+    "DetectionPolicy",
     "FastestFirstSchedulerPolicy",
     "FifoReschedulePolicy",
+    "FixedTimeoutDetection",
     "LoggingPolicy",
     "NoReplication",
     "OnCommitReplication",
@@ -58,12 +71,15 @@ __all__ = [
     "PassivePeriodicReplication",
     "PessimisticBlockingLogging",
     "PessimisticNonBlockingLogging",
+    "PhiAccrualDetection",
     "PolicyBase",
+    "QuorumReplication",
     "RandomSchedulerPolicy",
     "ReplicationPolicy",
     "RoundRobinSchedulerPolicy",
     "SchedulerPolicy",
     "SchedulingDecision",
+    "detection_policy_from",
     "logging_policy_from",
     "normalize_policy_entry",
     "replication_policy_from",

@@ -37,6 +37,7 @@ __all__ = [
     "PassivePeriodicReplication",
     "NoReplication",
     "OnCommitReplication",
+    "QuorumReplication",
 ]
 
 
@@ -107,13 +108,26 @@ class OnCommitReplication(ReplicationPolicy):
 
     key = "policy.repl.on-commit"
 
-    def __init__(self, min_interval: float = 0.0, name: str | None = None) -> None:
+    def __init__(
+        self,
+        min_interval: float = 0.0,
+        backoff: float | None = None,
+        name: str | None = None,
+    ) -> None:
         super().__init__(name)
         if min_interval < 0:
             from repro.errors import ConfigurationError
 
             raise ConfigurationError("min_interval must be non-negative")
+        if backoff is not None and backoff <= 0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError("backoff must be positive")
         self.min_interval = float(min_interval)
+        #: seconds to wait after a round that went nowhere (no ring
+        #: successor); ``None`` falls back to the coordinator's configured
+        #: replication period.
+        self.backoff = backoff
         self._wake = None
 
     def install(self, coordinator: "CoordinatorComponent") -> None:
@@ -142,10 +156,130 @@ class OnCommitReplication(ReplicationPolicy):
                     yield coordinator.host.sleep(self.min_interval)
                 elif env.now == before:
                     # The round went nowhere without consuming time (no ring
-                    # successor): back off one configured period instead of
-                    # spinning on the same simulated instant.
+                    # successor): back off by this policy's own interval —
+                    # only falling back to the passive period when none was
+                    # configured — instead of spinning on the same simulated
+                    # instant.
                     yield coordinator.host.sleep(
-                        coordinator.config.replication.period
+                        self.backoff
+                        if self.backoff is not None
+                        else coordinator.config.replication.period
                     )
         except ProcessKilled:  # pragma: no cover - host crash
             return
+
+
+@component("policy.repl.quorum")
+class QuorumReplication(ReplicationPolicy):
+    """Replicate to ``successors`` ring successors; commit on majority acks.
+
+    Each round pushes the state abstract to up to ``successors`` ring
+    successors in parallel and counts the epoch *committed* — the dirty set
+    is only cleared — once ⌈(successors+1)/2⌉ acks arrive (``quorum``
+    overrides the majority count explicitly).  A successor with an
+    outstanding un-acked push is backed off exponentially (per successor, in
+    units of the round period) and suspected after two consecutive misses,
+    so one silent replica neither stalls the round nor keeps absorbing
+    state pushes it never acknowledges.
+
+    On restart (a fresh incarnation of a crashed coordinator), the policy
+    first pulls the replicated state back from the surviving successors and
+    elects the freshest replica before resuming the push cadence.
+    """
+
+    key = "policy.repl.quorum"
+
+    def __init__(
+        self,
+        successors: int = 2,
+        quorum: int | None = None,
+        period: float | None = None,
+        max_backoff_rounds: int = 4,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        from repro.errors import ConfigurationError
+
+        if successors < 1:
+            raise ConfigurationError("successors must be >= 1")
+        if quorum is not None and not 1 <= quorum <= successors:
+            raise ConfigurationError("quorum must be in [1, successors]")
+        if max_backoff_rounds < 1:
+            raise ConfigurationError("max_backoff_rounds must be >= 1")
+        self.successors = int(successors)
+        self.quorum = quorum
+        self.period = period
+        self.max_backoff_rounds = int(max_backoff_rounds)
+        # per-successor outstanding-push backoff state.
+        self._next_allowed: dict = {}
+        self._misses: dict = {}
+
+    def quorum_for(self, n_targets: int) -> int:
+        """Acks needed to commit a round pushed to ``n_targets`` successors."""
+        needed = self.quorum if self.quorum is not None else (self.successors + 2) // 2
+        return max(1, min(needed, n_targets))
+
+    def install(self, coordinator: "CoordinatorComponent") -> None:
+        self._next_allowed = {}
+        self._misses = {}
+        coordinator.host.spawn(
+            self._loop(coordinator), name=f"{coordinator.name}:replication"
+        )
+
+    def _loop(self, coordinator: "CoordinatorComponent"):
+        env = coordinator.env
+        period = (
+            self.period
+            if self.period is not None
+            else coordinator.config.replication.period
+        )
+        try:
+            if coordinator.host.incarnation > 0:
+                yield from self._recover(coordinator)
+            while True:
+                yield coordinator.host.sleep(period)
+                ring = coordinator.registry.ring_successors(
+                    coordinator.address, self.successors
+                )
+                targets = [
+                    t for t in ring if self._next_allowed.get(t, 0.0) <= env.now
+                ]
+                if not targets:
+                    self.incr("skipped_rounds")
+                    continue
+                acks, committed = yield from coordinator.replicate_quorum_once(
+                    targets, self.quorum_for(len(targets))
+                )
+                self.incr("rounds")
+                self.incr("commits" if committed else "aborts")
+                for target in targets:
+                    if target in acks:
+                        self._misses.pop(target, None)
+                        self._next_allowed.pop(target, None)
+                        continue
+                    misses = self._misses.get(target, 0) + 1
+                    self._misses[target] = misses
+                    rounds = min(2 ** (misses - 1), self.max_backoff_rounds)
+                    self._next_allowed[target] = env.now + rounds * period
+                    self.incr("push_backoffs")
+                    if misses >= 2:
+                        coordinator.suspect_coordinator(target)
+        except ProcessKilled:  # pragma: no cover - host crash
+            return
+
+    def _recover(self, coordinator: "CoordinatorComponent"):
+        """Pull state back from the surviving successors, elect the freshest."""
+        targets = coordinator.registry.ring_successors(
+            coordinator.address, self.successors
+        )
+        if not targets:
+            return
+        coordinator.pull_replicas(targets)
+        self.incr("recovery_pulls", len(targets))
+        # One heart-beat period is ample for the pulled abstracts to land on
+        # a healthy network; stragglers still merge through the normal
+        # REPLICA_STATE path afterwards.
+        yield coordinator.host.sleep(coordinator.config.detection.heartbeat_period)
+        origin = coordinator.elect_freshest_origin()
+        if origin is not None:
+            self.incr("recoveries")

@@ -21,12 +21,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Mapping
 
-from repro.config import LoggingConfig, ReplicationConfig, SchedulerConfig
+from repro.config import (
+    FaultDetectionConfig,
+    LoggingConfig,
+    ReplicationConfig,
+    SchedulerConfig,
+)
 from repro.errors import ConfigurationError
 from repro.platform.registry import create_component, resolve_component
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.config import ProtocolConfig
+from repro.policies.detection import DetectionPolicy, FixedTimeoutDetection
 from repro.policies.logging import (
     LoggingPolicy,
     OptimisticLogging,
@@ -43,6 +49,7 @@ from repro.types import LoggingStrategy
 
 __all__ = [
     "SHADOWED_FLAG_PATHS",
+    "detection_policy_from",
     "logging_policy_from",
     "normalize_policy_entry",
     "reassert_flag_override",
@@ -60,7 +67,10 @@ __all__ = [
 #: The scheduler axis is deliberately absent: its only shadowed flag
 #: (``reschedule_on_suspicion``) feeds *into* any selected entry via
 #: :func:`scheduler_policy_from`'s default, so overriding it must not
-#: discard an explicitly requested scheduling order.
+#: discard an explicitly requested scheduling order.  The detection axis is
+#: absent for the same reason: ``suspicion_timeout`` feeds into every
+#: detection policy as its fixed-rule fallback/ceiling, so overriding the
+#: flag tunes the selected detector rather than discarding it.
 SHADOWED_FLAG_PATHS = {
     "coordinator.replication": "replication",
     "coordinator.replication.enabled": "replication",
@@ -145,6 +155,20 @@ def replication_policy_from(
     return PassivePeriodicReplication(period=config.period)
 
 
+def detection_policy_from(
+    config: FaultDetectionConfig, entry: Any = None
+) -> DetectionPolicy:
+    """The failure-detection policy for one detector (entry wins over flags).
+
+    ``None`` derives the paper's fixed-timeout rule from the config's
+    ``suspicion_timeout`` (the policy defers to the config at query time, so
+    the derivation is byte-identical to the historical flag-driven check).
+    """
+    if entry is not None:
+        return _create(entry, DetectionPolicy, "detection")
+    return FixedTimeoutDetection()
+
+
 def logging_policy_from(config: LoggingConfig, entry: Any = None) -> LoggingPolicy:
     """The logging policy for one client (entry wins over the strategy flag)."""
     if entry is not None:
@@ -181,7 +205,7 @@ def validate_policy_entries(policy_config: Any) -> None:
     instantiating anything (parameters are validated at construction time,
     inside the cells).
     """
-    for field_name in ("scheduler", "replication", "logging"):
+    for field_name in ("scheduler", "replication", "logging", "detection"):
         entry = getattr(policy_config, field_name, None)
         normalized = normalize_policy_entry(entry)
         if normalized is None:
@@ -221,6 +245,13 @@ def _mirror_entry_flags(
             protocol.coordinator.scheduler.reschedule_on_suspicion = bool(
                 params["reschedule"]
             )
+    elif axis == "detection":
+        # Only an explicit fixed timeout has a flag equivalent; adaptive and
+        # accrual detectors read the flag as their ceiling/fallback instead.
+        if name == "policy.detect.fixed-timeout" and params.get("timeout") is not None:
+            timeout = float(params["timeout"])
+            protocol.coordinator.detection.suspicion_timeout = timeout
+            protocol.server.detection.suspicion_timeout = timeout
     elif axis == "logging":
         # The policy class itself carries the strategy it implements (its
         # `strategy` attribute) — resolve through the registry rather than

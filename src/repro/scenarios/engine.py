@@ -37,6 +37,7 @@ from repro.scenarios.report import RunReport
 from repro.workloads.synthetic import SyntheticWorkload
 
 __all__ = [
+    "FAULT_STREAM_PREFIXES",
     "FaultPlan",
     "GridTopology",
     "RunReport",
@@ -46,6 +47,11 @@ __all__ = [
     "interpolate_params",
     "resolve_protocol",
 ]
+
+#: RNG stream-name prefixes that drive fault/churn draws; fingerprinting
+#: these (and only these) is how paired-CRN sweeps assert that two policy
+#: arms consumed identical fault schedules.
+FAULT_STREAM_PREFIXES = ("churn.", "faultgen", "correlated", "crn.")
 
 #: named protocol presets a spec can reference instead of a ProtocolConfig.
 PROTOCOL_PRESETS = {
@@ -157,6 +163,10 @@ class FaultPlan:
     mtbf: float = 600.0
     mttr: float = 30.0
     permanent_fraction: float = 0.0
+    #: availability-trace file (kind == "churn"); when set, the exponential
+    #: churn model is replaced by the trace's up/down intervals.
+    trace: str | None = None
+    trace_mode: str = "wrap"  # "wrap" | "clamp"
 
     def component(self) -> "RateFaultInjector | ChurnInjectorComponent | None":
         """The platform component this plan describes (``None`` when inert)."""
@@ -178,6 +188,8 @@ class FaultPlan:
                 mtbf=self.mtbf,
                 mttr=self.mttr,
                 permanent_fraction=self.permanent_fraction,
+                trace=self.trace,
+                trace_mode=self.trace_mode,
             )
         raise ConfigurationError(f"unknown fault plan kind {self.kind!r}")
 
@@ -314,6 +326,10 @@ def execute_benchmark(
     seed: int = 0,
     horizon: float = 4000.0,
     components: Sequence[Any] = (),
+    crn_seed: int | None = None,
+    run_full_horizon: bool = False,
+    record_fault_streams: bool = False,
+    record_detection: bool = False,
 ) -> RunReport:
     """Run the §5.1 synthetic benchmark once over the declared pieces.
 
@@ -331,6 +347,15 @@ def execute_benchmark(
     ``protocol=None`` keeps the platform's own defaults (the confined cluster
     replicates every 5 s, the Internet testbed every 60 s); overrides are then
     applied on top of those defaults, not on a blank configuration.
+
+    The four trailing flags serve paired-CRN comparisons: ``crn_seed`` pins
+    the ``crn.``-prefixed fault streams independently of ``seed``,
+    ``run_full_horizon`` keeps the simulation running to ``horizon`` even
+    after the workload completes (so every arm's churn loops consume the same
+    number of draws regardless of when its workload finished),
+    ``record_fault_streams`` fingerprints the fault/churn RNG streams into
+    the report, and ``record_detection`` stamps the grid-wide suspicion
+    accounting (``detect.*`` counters) into the report.
     """
     if protocol is None:
         config = (
@@ -341,6 +366,11 @@ def execute_benchmark(
     else:
         config = resolve_protocol(protocol, protocol_overrides)
     grid = topology.build(config, seed)
+    if crn_seed is not None:
+        # Fault/churn streams under the crn. namespace re-key off this seed
+        # (no such stream exists yet at this point: they are created lazily
+        # by the injectors, which only start below).
+        grid.rng.crn_seed = int(crn_seed)
     grid.start()
 
     bench = workload.build()
@@ -349,6 +379,11 @@ def execute_benchmark(
     extras = [grid.add_component(entry) for entry in components]
 
     finished = grid.run_until(process, timeout=horizon)
+    if run_full_horizon and grid.env.now < horizon:
+        # Keep the fault/churn loops running out to the horizon so paired
+        # arms consume identical fault-stream draws no matter when their
+        # workloads finished.
+        grid.env.run(until=horizon)
     grid.stop()
 
     injected = injector.injected if injector else 0
@@ -356,7 +391,7 @@ def execute_benchmark(
     makespan = bench.makespan if finished else grid.env.now
     ideal = workload.ideal_time / max(len(grid.servers), 1)
     overhead = (makespan - ideal) / ideal if ideal > 0 else 0.0
-    return RunReport(
+    report = RunReport(
         makespan=makespan,
         submitted=len(bench.handles),
         completed=bench.completed_count(),
@@ -366,6 +401,17 @@ def execute_benchmark(
         ideal_time=ideal,
         counters=dict(grid.monitor.counters),
     )
+    if record_detection:
+        report.wrong_suspicions = int(
+            report.counters.get("detect.wrong_suspicions", 0)
+        )
+        report.suspicion_transitions = int(
+            report.counters.get("detect.suspicions", 0)
+            + report.counters.get("detect.rehabilitations", 0)
+        )
+    if record_fault_streams:
+        report.fault_streams = grid.rng.fingerprint(FAULT_STREAM_PREFIXES)
+    return report
 
 
 def benchmark_cell(
@@ -385,13 +431,20 @@ def benchmark_cell(
     mtbf: float = 600.0,
     mttr: float = 30.0,
     permanent_fraction: float = 0.0,
+    fault_trace: str | None = None,
+    fault_trace_mode: str = "wrap",
     protocol_preset: str | None = None,
     protocol_overrides: Mapping[str, Any] | None = None,
     scheduler_policy: Any = None,
     replication_policy: Any = None,
     logging_policy: Any = None,
+    detection_policy: Any = None,
     horizon: float = 4000.0,
     components: Sequence[Any] = (),
+    crn_seed: int | None = None,
+    run_full_horizon: bool = False,
+    record_fault_streams: bool = False,
+    record_detection: bool = False,
     **component_params: Any,
 ) -> dict[str, Any]:
     """Flat-keyword cell kernel over :func:`execute_benchmark`.
@@ -433,10 +486,13 @@ def benchmark_cell(
         mtbf=mtbf,
         mttr=mttr,
         permanent_fraction=permanent_fraction,
+        fault_trace=fault_trace,
+        fault_trace_mode=fault_trace_mode,
         protocol_preset=protocol_preset,
         scheduler_policy=scheduler_policy,
         replication_policy=replication_policy,
         logging_policy=logging_policy,
+        detection_policy=detection_policy,
         horizon=horizon,
     )
     overrides = dict(protocol_overrides or {})
@@ -444,6 +500,7 @@ def benchmark_cell(
         ("policy.scheduler", scheduler_policy),
         ("policy.replication", replication_policy),
         ("policy.logging", logging_policy),
+        ("policy.detection", detection_policy),
     ):
         if entry is None:
             continue
@@ -476,11 +533,17 @@ def benchmark_cell(
             mtbf=mtbf,
             mttr=mttr,
             permanent_fraction=permanent_fraction,
+            trace=fault_trace,
+            trace_mode=fault_trace_mode,
         ),
         protocol=protocol_preset,
         protocol_overrides=overrides,
         seed=seed,
         horizon=horizon,
         components=interpolate_params(list(components), cell_params),
+        crn_seed=crn_seed,
+        run_full_horizon=run_full_horizon,
+        record_fault_streams=record_fault_streams,
+        record_detection=record_detection,
     )
     return report.outputs()

@@ -31,6 +31,7 @@ _REGISTRY: dict[str, ScenarioSpec] = {}
 _BUILTIN_MODULES: tuple[str, ...] = (
     "repro.experiments",
     "repro.scenarios.library",
+    "repro.scenarios.robustness",
 )
 _loaded = False
 

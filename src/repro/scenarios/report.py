@@ -25,6 +25,11 @@ class RunReport:
     overhead_vs_ideal: float = 0.0
     ideal_time: float = 0.0
     counters: dict[str, float] = field(default_factory=dict)
+    #: optional extras (stamped only when the engine was asked to record
+    #: them, so historical cells keep their exact output shape).
+    wrong_suspicions: int | None = None
+    suspicion_transitions: int | None = None
+    fault_streams: dict[str, str] | None = None
 
     @property
     def all_completed(self) -> bool:
@@ -33,7 +38,7 @@ class RunReport:
 
     def outputs(self) -> dict[str, Any]:
         """The JSON-able measured outputs stored per sweep cell."""
-        return {
+        out = {
             "makespan": self.makespan,
             "submitted": self.submitted,
             "completed": self.completed,
@@ -42,3 +47,10 @@ class RunReport:
             "overhead_vs_ideal": self.overhead_vs_ideal,
             "ideal_time": self.ideal_time,
         }
+        if self.wrong_suspicions is not None:
+            out["wrong_suspicions"] = self.wrong_suspicions
+        if self.suspicion_transitions is not None:
+            out["suspicion_transitions"] = self.suspicion_transitions
+        if self.fault_streams is not None:
+            out["fault_streams"] = self.fault_streams
+        return out

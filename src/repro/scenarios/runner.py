@@ -14,6 +14,7 @@ methods.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import pickle
@@ -21,6 +22,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.errors import ConfigurationError
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import CellResult, ScenarioSpec, SweepCell, SweepPlan
 from repro.scenarios.store import ResultsStore, RunResult
@@ -124,6 +126,7 @@ class SweepRunner:
         params: Mapping[str, Any] | None = None,
         store: ResultsStore | None = None,
         resume: bool = False,
+        paired_axes: Sequence[str] | None = None,
     ) -> None:
         self.spec = get_scenario(spec) if isinstance(spec, str) else spec
         self.plan: SweepPlan = self.spec.resolve(
@@ -131,6 +134,18 @@ class SweepRunner:
         )
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.store = store
+        #: axes whose arms must share identical fault-stream fingerprints
+        #: (common random numbers); falls back to the spec's declaration.
+        self.paired_axes = tuple(
+            paired_axes if paired_axes is not None else self.spec.paired_axes
+        )
+        axis_names = {axis.name for axis in self.plan.axes}
+        unknown = set(self.paired_axes) - axis_names
+        if unknown:
+            raise ConfigurationError(
+                f"paired_axes {sorted(unknown)} are not axes of scenario "
+                f"{self.spec.name!r}"
+            )
         #: skip cells whose (spec hash, index, seed) already have a stored
         #: checkpoint; requires a store.
         self.resume = resume and store is not None
@@ -189,6 +204,8 @@ class SweepRunner:
             )
             for cell, (outputs, cell_wall) in zip(cells, raw)
         ]
+        if self.paired_axes:
+            self._assert_paired(results)
         rows = (
             self.spec.reduce(results)
             if self.spec.reduce is not None
@@ -223,6 +240,56 @@ class SweepRunner:
             store = self.store or ResultsStore()
             result.manifest["artifact"] = str(store.save(result))
         return result
+
+    def _assert_paired(self, results: list[CellResult]) -> None:
+        """Verify common-random-numbers pairing across the paired axes.
+
+        Cells that agree on every parameter *except* the paired axes (and on
+        the seed) form one pairing group; all members must report identical
+        ``fault_streams`` fingerprints, i.e. the same fault streams existed
+        and consumed the same number of draws in every arm.  A divergence
+        means a policy arm perturbed the fault schedule it was supposed to be
+        measured under, so the sweep's comparison is unsound — fail loudly.
+        """
+        paired = set(self.paired_axes)
+        groups: dict[str, list[CellResult]] = {}
+        for result in results:
+            if isinstance(result.outputs, Mapping) and result.outputs.get("timed_out"):
+                continue
+            rest = {k: v for k, v in result.params.items() if k not in paired}
+            key = json.dumps(
+                {"params": rest, "seed": result.seed}, sort_keys=True, default=str
+            )
+            groups.setdefault(key, []).append(result)
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            fingerprints = []
+            for member in members:
+                # An empty dict is a valid fingerprint (a fully deterministic
+                # fault plan draws nothing); only a missing one is an error.
+                streams = member.outputs.get("fault_streams")
+                if streams is None:
+                    raise ConfigurationError(
+                        f"scenario {self.spec.name!r} declares paired axes "
+                        f"{sorted(paired)} but cell {member.index} (seed "
+                        f"{member.seed}) recorded no fault_streams fingerprint; "
+                        "the cell kernel must run with record_fault_streams"
+                    )
+                fingerprints.append(streams)
+            reference = fingerprints[0]
+            for member, streams in zip(members[1:], fingerprints[1:]):
+                if streams != reference:
+                    arm = {k: member.params.get(k) for k in sorted(paired)}
+                    base = {
+                        k: members[0].params.get(k) for k in sorted(paired)
+                    }
+                    raise ConfigurationError(
+                        f"scenario {self.spec.name!r}: fault streams diverge "
+                        f"across paired axes (seed {member.seed}): arm {arm} "
+                        f"disagrees with arm {base} — the arms did not see "
+                        "the same fault schedule"
+                    )
 
     def _checkpoint(
         self, spec_hash: str, cell: SweepCell, outcome: tuple[dict[str, Any], float]
@@ -298,9 +365,10 @@ def run_scenario(
     store: ResultsStore | None = None,
     save: bool = False,
     resume: bool = False,
+    paired_axes: Sequence[str] | None = None,
 ) -> RunResult:
     """One-call convenience over :class:`SweepRunner`."""
     return SweepRunner(
         spec, scale=scale, jobs=jobs, seeds=seeds, axes=axes, params=params,
-        store=store, resume=resume,
+        store=store, resume=resume, paired_axes=paired_axes,
     ).run(save=save)

@@ -117,6 +117,13 @@ class ScenarioSpec:
     #: outputs instead of hanging the sweep (a ``reduce`` must tolerate such
     #: cells when a spec opts in).
     cell_timeout: float | None = None
+    #: axes whose arms must see *identical* fault schedules (common random
+    #: numbers).  Cells differing only in these axes (same seed, same other
+    #: parameters) are required to report byte-identical ``fault_streams``
+    #: fingerprints; the runner asserts this after the sweep.  The cell
+    #: kernel must record the fingerprints (``record_fault_streams``) and
+    #: key its fault draws off ``crn.*`` streams with a shared ``crn_seed``.
+    paired_axes: tuple[str, ...] = ()
     #: optional aggregation of cell results into the figure's rows.
     reduce: Callable[[list[CellResult]], list[dict[str, Any]]] | None = None
 
@@ -136,6 +143,13 @@ class ScenarioSpec:
         if overlap:
             raise ConfigurationError(
                 f"scenario {self.name!r}: {sorted(overlap)} both fixed and swept"
+            )
+        object.__setattr__(self, "paired_axes", tuple(self.paired_axes))
+        unknown_paired = set(self.paired_axes) - set(axis_names)
+        if unknown_paired:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: paired_axes {sorted(unknown_paired)} "
+                "are not axes of this scenario"
             )
         if self.components:
             if "components" in self.base or "components" in axis_names:
@@ -248,6 +262,8 @@ class ScenarioSpec:
         # historical spec hashes (and their resume checkpoints).
         if self.cell_timeout is not None:
             manifest["cell_timeout"] = self.cell_timeout
+        if self.paired_axes:
+            manifest["paired_axes"] = list(self.paired_axes)
         return manifest
 
     def spec_hash(self, plan: "SweepPlan | None" = None) -> str:
