@@ -16,6 +16,12 @@ machine-independent head-to-head ratio (the kernel benchmark's 1k
 ``speedup`` and its ``min_speedup`` floor), that floor is checked too;
 benchmarks without one (the transport file) are gated on the per-scale
 events/sec alone.
+
+``--flatness LOW:HIGH:RATIO`` adds a scale-flatness gate on the *fresh*
+results alone: events/sec at the HIGH scale must be at least RATIO times
+events/sec at the LOW scale (e.g. ``--flatness 1000:10000:0.9`` demands the
+10k-node throughput stays within 10% of the 1k-node throughput).  Like the
+speedup floor, this is a within-run ratio, so it is machine-independent.
 """
 
 from __future__ import annotations
@@ -35,6 +41,15 @@ def main() -> int:
         type=float,
         default=0.20,
         help="maximum tolerated fractional events/sec drop per scale (default 0.20)",
+    )
+    parser.add_argument(
+        "--flatness",
+        metavar="LOW:HIGH:RATIO",
+        default=None,
+        help=(
+            "require fresh events/sec at scale HIGH to be at least RATIO x "
+            "the fresh events/sec at scale LOW (e.g. 1000:10000:0.9)"
+        ),
     )
     args = parser.parse_args()
 
@@ -60,6 +75,30 @@ def main() -> int:
                 f"scale {scale}: events/sec dropped {drop:.1%} "
                 f"(max allowed {args.max_regression:.0%})"
             )
+
+    if args.flatness is not None:
+        low, high, ratio_text = args.flatness.split(":")
+        floor = float(ratio_text)
+        low_row = fresh["scales"].get(low)
+        high_row = fresh["scales"].get(high)
+        if low_row is None or high_row is None:
+            failures.append(
+                f"flatness gate: scales {low} and {high} must both be present"
+            )
+        else:
+            low_eps = float(low_row["events_per_sec"])
+            high_eps = float(high_row["events_per_sec"])
+            ratio = high_eps / low_eps
+            status = "ok" if ratio >= floor else "COLLAPSE"
+            print(
+                f"flatness {high} vs {low}: {high_eps:>10.0f} / {low_eps:>10.0f} "
+                f"ev/s = {ratio:.3f} (floor {floor}) [{status}]"
+            )
+            if ratio < floor:
+                failures.append(
+                    f"flatness: {high}-scale throughput is {ratio:.3f}x the "
+                    f"{low}-scale throughput (floor {floor})"
+                )
 
     if "comparison_1k" in fresh or "min_speedup" in fresh:
         speedup = float(fresh.get("comparison_1k", {}).get("speedup", 0.0))

@@ -43,6 +43,14 @@ SEND_GAP = 0.001
 #: payload bytes per message.
 MESSAGE_BYTES = 128
 
+#: fan-in workload: servers per coordinator (the grid's natural shape).
+FANIN_RATIO = 100
+#: fan-in scales: senders -> beats per sender.
+FANIN_SCALES = {1000: 40, 5000: 16, 10000: 10}
+#: heart-beat period of the fan-in senders (all in phase, so every tick
+#: lands FANIN_RATIO same-tick deliveries per coordinator mailbox).
+FANIN_BEAT = 1.0
+
 
 def _addresses(nodes: int) -> list[Address]:
     return [Address("node", f"n{index:05d}") for index in range(nodes)]
@@ -144,10 +152,104 @@ def _run_scenario(nodes: int, messages: int) -> dict:
     }
 
 
+def _run_fanin(senders: int, beats: int) -> dict:
+    """Heart-beat fan-in: pooled envelopes, batched coordinator wakeups.
+
+    ``senders`` servers beat in phase at every tick toward
+    ``senders / FANIN_RATIO`` coordinators over a zero-delay link, so each
+    coordinator mailbox receives ``FANIN_RATIO`` same-tick deliveries.  The
+    coordinators drain with ``recv_many`` — one resume per tick for the
+    whole batch — and release every pooled envelope back to the free list.
+    """
+    from repro.net.message import MessagePool
+
+    env = Environment()
+    network = Network(env, link_model=PerfectLinkModel(latency=0.0))
+    # Every sender's envelope is in flight at once each tick, so the free
+    # list must hold one bucket entry per sender to serve the next beat.
+    pool = MessagePool(max_per_bucket=senders)
+    n_coordinators = max(senders // FANIN_RATIO, 1)
+    coordinators = [
+        network.register(Address("coordinator", f"c{i:04d}"))
+        for i in range(n_coordinators)
+    ]
+    server_addresses = [
+        Address("server", f"s{i:05d}") for i in range(senders)
+    ]
+    for address in server_addresses:
+        network.register(address)
+
+    drained = [0]
+    resumes = [0]
+
+    def _drain(endpoint):
+        while True:
+            batch = yield endpoint.recv_many()
+            resumes[0] += 1
+            drained[0] += len(batch)
+            for message in batch:
+                message.release()
+
+    for endpoint in coordinators:
+        env.process(_drain(endpoint))
+
+    def _beat_all(_arg) -> None:
+        for index, source in enumerate(server_addresses):
+            network.send(
+                pool.acquire(
+                    MessageType.SERVER_HEARTBEAT,
+                    source,
+                    coordinators[index % n_coordinators].address,
+                    {"working_on": None},
+                    size_bytes=MESSAGE_BYTES,
+                )
+            )
+
+    env.call_periodic(FANIN_BEAT, _beat_all, None)
+
+    start = time.perf_counter()
+    env.run(until=beats * FANIN_BEAT + 0.5)
+    wall = time.perf_counter() - start
+
+    stats = network.stats()
+    sent = int(stats["net.sent"])
+    delivered = int(stats["net.delivered"])
+    pool_stats = pool.stats()
+
+    # Lossless zero-delay fan-in: everything sent is delivered, drained in
+    # one resume per coordinator per tick, and only the first beat allocates
+    # fresh envelopes — every later beat is served from the free list.
+    assert sent == senders * beats, stats
+    assert delivered == sent, stats
+    assert drained[0] == delivered, (drained, stats)
+    assert resumes[0] == n_coordinators * beats, (resumes, n_coordinators)
+    assert pool_stats["misses"] == senders, pool_stats
+    assert pool_stats["dropped"] == 0, pool_stats
+
+    useful = sent + delivered
+    return {
+        "senders": senders,
+        "coordinators": n_coordinators,
+        "beats_per_sender": beats,
+        "wall_seconds": round(wall, 4),
+        "messages_sent": sent,
+        "messages_delivered": delivered,
+        "receiver_resumes": resumes[0],
+        "batch_size_mean": round(delivered / resumes[0], 2),
+        "pool_hit_rate": round(pool_stats["hit_rate"], 6),
+        "useful_events": useful,
+        "events_per_sec": round(useful / wall, 1),
+    }
+
+
 def test_transport_benchmark_writes_bench_json():
     scales = {}
     for nodes, messages in SCALES.items():
         scales[str(nodes)] = _run_scenario(nodes, messages)
+
+    fanin = {}
+    for senders, beats in FANIN_SCALES.items():
+        fanin[str(senders)] = _run_fanin(senders, beats)
 
     payload = {
         "benchmark": "transport-zero-allocation-delivery",
@@ -157,9 +259,12 @@ def test_transport_benchmark_writes_bench_json():
             "events_per_sec = transport events (sends + deliveries) / wall "
             "seconds; every message alternates a zero-delay same-site link "
             "(same-tick lane) and a jittered cross-site LAN link (heap "
-            "callback lane)"
+            "callback lane); fanin_scales exercise pooled heart-beat "
+            "envelopes drained through batched recv_many wakeups"
         ),
         "scales": scales,
+        "fanin_scales": fanin,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nBENCH_transport.json: {json.dumps(scales, indent=2)}")
+    print(f"fan-in: {json.dumps(fanin, indent=2)}")

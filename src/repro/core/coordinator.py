@@ -271,10 +271,13 @@ class CoordinatorComponent:
 
     # ------------------------------------------------------------------ loops
     def _recv_loop(self):
+        # Batched drain: one resume per tick however many messages landed
+        # (recv_many), instead of one resume per message.
         try:
             while True:
-                message: Message = yield self.host.recv()
-                yield from self._handle(message)
+                batch: list[Message] = yield self.host.recv_many()
+                for message in batch:
+                    yield from self._handle(message)
         except ProcessKilled:  # pragma: no cover - host crash
             return
 
@@ -307,8 +310,11 @@ class CoordinatorComponent:
             yield from self._on_replica_pull(message)
         elif mtype is MessageType.SERVER_HEARTBEAT:
             self._on_server_heartbeat(message)
+            # Heart-beats are handled entirely in place (values copied out
+            # above), so their pooled envelopes go back to the free list.
+            message.release()
         elif mtype is MessageType.CLIENT_HEARTBEAT:
-            pass  # nothing to do beyond receiving it
+            message.release()  # nothing to do beyond receiving it
         elif mtype is MessageType.COORD_HEARTBEAT:
             self.coordinator_detector.heard_from(
                 message.source,
@@ -316,6 +322,7 @@ class CoordinatorComponent:
                 incarnation=message.payload.get("incarnation"),
             )
             self.registry.rehabilitate(message.source)
+            message.release()
         elif mtype is MessageType.ARCHIVE_FETCH:
             yield from self._on_archive_fetch(message)
         elif mtype is MessageType.ARCHIVE_REPLY:

@@ -124,10 +124,13 @@ class ServerComponent:
 
     # ------------------------------------------------------------------ messaging
     def _recv_loop(self):
+        # Batched drain: one resume per tick however many messages landed
+        # (recv_many), instead of one resume per message.
         try:
             while True:
-                message: Message = yield self.host.recv()
-                self._dispatch(message)
+                batch: list[Message] = yield self.host.recv_many()
+                for message in batch:
+                    self._dispatch(message)
         except ProcessKilled:  # pragma: no cover - host crash
             return
 

@@ -9,14 +9,16 @@ coordinator (which changes on suspicion) and so that piggy-backed payloads
 
 Three scale-minded properties of the emitter:
 
-* **one callback-lane timer per emitter** — the beat loop rides the kernel's
-  cheap :meth:`~repro.sim.core.Environment.call_at_cancellable` lane instead
-  of a process + Timeout event per beat: per beat, the only kernel traffic is
-  one bare heap tuple plus its cancel token.  Every target of a beat shares
-  that single timer; the per-target work is just the message sends;
-* **nothing left behind** — :meth:`HeartbeatEmitter.stop` cancels the pending
-  tick, and a host crash does the same through the host's crash hooks, so
-  retired emitters leave no entry in the kernel heap;
+* **one periodic handle per emitter** — the beat loop rides the kernel's
+  :meth:`~repro.sim.core.Environment.call_periodic` lane: a single
+  :class:`~repro.sim.core.PeriodicHandle` re-arms itself in place after
+  every beat, staging each next tick on the O(1) timer wheel instead of a
+  process + Timeout event (or even a fresh cancel token) per beat.  Every
+  target of a beat shares that single handle; the per-target work is just
+  the message sends;
+* **nothing left behind** — :meth:`HeartbeatEmitter.stop` cancels the
+  handle, and a host crash does the same through the host's crash hooks, so
+  retired emitters leave no entry in the kernel schedule;
 * **one payload per beat** — the payload callable is evaluated once per beat
   and snapshotted so nested mutables (coordinator lists, state abstracts) are
   frozen in time instead of aliasing the sender's live state across every
@@ -33,9 +35,9 @@ from typing import Any, Callable, Iterable
 
 from repro.config import FaultDetectionConfig
 from repro.errors import ConfigurationError
-from repro.net.message import Message, MessageType
+from repro.net.message import Message, MessagePool, MessageType, default_pool
 from repro.nodes.node import Host
-from repro.sim.core import CallHandle
+from repro.sim.core import PeriodicHandle
 
 __all__ = ["HeartbeatEmitter"]
 
@@ -70,6 +72,7 @@ class HeartbeatEmitter:
         targets: Callable[[], Iterable],
         payload: Callable[[], Any] | None = None,
         jitter_fraction: float = 0.1,
+        pool: MessagePool | None = None,
     ) -> None:
         self.host = host
         self.config = config
@@ -77,9 +80,12 @@ class HeartbeatEmitter:
         self.targets = targets
         self.payload = payload or (lambda: {})
         self.jitter_fraction = jitter_fraction
+        #: heart-beat traffic is protocol-internal (receivers handle it in
+        #: place and never retain it), so its envelopes are pooled by default.
+        self.pool = default_pool() if pool is None else pool
         self.sent = 0
         self.stopped = False
-        self._handle: CallHandle | None = None
+        self._handle: PeriodicHandle | None = None
         self._rng = host.rng.stream(f"heartbeat.{host.address}")
 
     # -- component protocol -------------------------------------------------
@@ -92,16 +98,18 @@ class HeartbeatEmitter:
         """Component lifecycle hook: the emitter binds at construction."""
 
     def start(self) -> None:
-        """Arm the beat timer on the kernel callback lane (host must be up)."""
+        """Arm the periodic beat handle on the timer wheel (host must be up)."""
         if not self.host.up:
             raise ConfigurationError(
                 f"cannot start heartbeat on crashed host {self.host.address}"
             )
         self.stopped = False
-        # Desynchronise emitters so every component does not beat in lockstep.
+        # Desynchronise emitters so every component does not beat in lockstep;
+        # each subsequent beat draws its jittered period from _next_interval.
         initial = float(self._rng.uniform(0.0, self.config.heartbeat_period))
-        env = self.host.env
-        self._handle = env.call_at_cancellable(env.now + initial, self._tick)
+        self._handle = self.host.env.call_periodic(
+            None, self._tick, first_delay=initial, interval_fn=self._next_interval
+        )
         # A crash must reclaim the pending tick the same way it kills the
         # host's processes; the hook removes itself through stop().
         self.host.add_crash_hook(self._on_host_crash)
@@ -124,22 +132,30 @@ class HeartbeatEmitter:
         self.stop()
 
     @property
-    def pending_timer(self) -> CallHandle | None:
-        """The beat tick currently armed, if any (observability / tests)."""
+    def pending_timer(self) -> PeriodicHandle | None:
+        """The periodic beat handle currently armed, if any (tests)."""
         return self._handle
 
-    def _tick(self, _arg: Any = None) -> None:
-        self._handle = None
-        if self.stopped or not self.host.up:
-            return
-        self.beat_now()
+    def _next_interval(self) -> float:
+        """Next-beat delay: the configured period with multiplicative jitter.
+
+        Evaluated by the kernel after each beat runs — the same position in
+        the RNG stream a hand-rolled re-arming callback would draw at.
+        """
         jitter = float(
             self._rng.uniform(1.0 - self.jitter_fraction, 1.0 + self.jitter_fraction)
         )
-        env = self.host.env
-        self._handle = env.call_at_cancellable(
-            env.now + self.config.heartbeat_period * jitter, self._tick
-        )
+        return self.config.heartbeat_period * jitter
+
+    def _tick(self, _arg: Any = None) -> None:
+        if self.stopped or not self.host.up:
+            handle = self._handle
+            if handle is not None:
+                # Retire in place: cancelling mid-fire just stops the re-arm.
+                self._handle = None
+                handle.cancel()
+            return
+        self.beat_now()
 
     def beat_now(self) -> int:
         """Send one round of heart-beats immediately; returns how many.
@@ -155,11 +171,12 @@ class HeartbeatEmitter:
             # restart from a continuation of the silent incarnation (the
             # detector resets last-heard state on an incarnation bump).
             payload["incarnation"] = self.host.incarnation
+        acquire = self.pool.acquire
         for target in self.targets():
             if target is None or target == self.host.address:
                 continue
             self.host.send(
-                Message(
+                acquire(
                     mtype=self.mtype,
                     source=self.host.address,
                     dest=target,

@@ -51,13 +51,33 @@ class Endpoint:
         """Event triggering with the next delivered :class:`Message`."""
         return self.mailbox.get()
 
+    def recv_many(self):
+        """Event triggering with the same-tick *batch* of delivered messages.
+
+        The value is a non-empty list in delivery (FIFO) order.  Same-tick
+        deliveries are coalesced: however many messages land at one tick,
+        the receiver is resumed once, with all of them — the batched-wakeup
+        path for server/coordinator drain loops.  Messages already queued
+        trigger immediately (with the whole backlog).
+        """
+        return self.mailbox.get_all()
+
     def try_recv(self) -> Message | None:
         """Non-blocking receive."""
         return self.mailbox.try_get()
 
     def mark_down(self) -> int:
-        """Crash semantics: drop queued messages and refuse new deliveries."""
+        """Crash semantics: drop queued messages and refuse new deliveries.
+
+        Pooled protocol-internal envelopes among the dropped messages go
+        back to their free list — a crashed mailbox is a guaranteed
+        nobody-retains-it drop point.
+        """
         self.up = False
+        for message in self.mailbox.items:
+            release = getattr(message, "release", None)
+            if release is not None:
+                release()
         return self.mailbox.clear()
 
     def mark_up(self) -> None:
@@ -215,9 +235,11 @@ class Network:
         dest_endpoint = self._endpoints.get(message.dest)
         if dest_endpoint is None:
             self.monitor.incr("net.dropped.unknown_dest")
+            message.release()
             return
         if not self.partitions.allows(message.source, message.dest):
             self.monitor.incr("net.dropped.partition")
+            message.release()
             return
 
         # Determinism: consume exactly one draw from the dedicated loss
@@ -231,6 +253,7 @@ class Network:
         loss_probability = route[1]
         if loss_probability > 0.0 and loss_roll < loss_probability:
             self.monitor.incr("net.dropped.loss")
+            message.release()
             return
 
         delay = route[0](message.source, message.dest, wire, self._delay_stream)
@@ -268,13 +291,16 @@ class Network:
         endpoint = self._endpoints.get(message.dest)
         if endpoint is None:  # pragma: no cover - endpoint removed mid-flight
             self.monitor.incr("net.dropped.unknown_dest")
+            message.release()
             return
         if not self.partitions.allows(message.source, message.dest):
             self.monitor.incr("net.dropped.partition")
+            message.release()
             return
         if not endpoint.up:
             endpoint.dropped_down += 1
             self.monitor.incr("net.dropped.endpoint_down")
+            message.release()
             return
         if send_incarnation is not None and endpoint.incarnation != send_incarnation:
             # Sent to a previous life of this endpoint (it was down, or it
@@ -282,11 +308,14 @@ class Network:
             # was addressed to no longer exists.
             endpoint.dropped_stale += 1
             self.monitor.incr("net.dropped.stale_incarnation")
+            message.release()
             return
         endpoint.delivered += 1
         self._c_delivered.value += 1.0
         self._c_bytes_delivered.value += message.wire_bytes
-        endpoint.mailbox.put(message)
+        # put_nowait: the transport never observes the put outcome, so the
+        # per-delivery Event allocation of Store.put would be pure waste.
+        endpoint.mailbox.put_nowait(message)
         for hook in self._delivery_hooks:
             hook(message)
 

@@ -205,6 +205,14 @@ class Host:
         """Event for the next message delivered to this host."""
         return self.endpoint.recv()
 
+    def recv_many(self):
+        """Event for the same-tick batch of delivered messages (FIFO list).
+
+        One receiver resume per tick however many messages land — the
+        batched-wakeup drain path (see :meth:`Endpoint.recv_many`).
+        """
+        return self.endpoint.recv_many()
+
     # -- reporting ---------------------------------------------------------------
     def availability(self) -> float:
         """Fraction of elapsed time this host has been up so far."""

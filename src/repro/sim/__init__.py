@@ -20,6 +20,7 @@ from repro.sim.core import (
     Environment,
     Event,
     Interrupt,
+    PeriodicHandle,
     Process,
     ProcessKilled,
     SimulationError,
@@ -41,6 +42,7 @@ __all__ = [
     "FilterStore",
     "Interrupt",
     "Monitor",
+    "PeriodicHandle",
     "PriorityStore",
     "Process",
     "ProcessKilled",

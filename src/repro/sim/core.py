@@ -10,8 +10,9 @@ The kernel follows the process-interaction world view:
 * :class:`AnyOf` / :class:`AllOf` compose events;
 * processes can be interrupted (:class:`Interrupt`) or killed
   (:class:`ProcessKilled`), which is how node crashes are modelled;
-* waits are *cancellable*: :meth:`Timeout.cancel` tombstones a pending timer
-  (lazily removed from the heap, compacted in bulk when dead entries pile up),
+* waits are *cancellable*: :meth:`Timeout.cancel` removes a wheel-staged
+  timer on the spot and tombstones a heap-resident one (lazily removed from
+  the heap, compacted in bulk when dead entries pile up),
   :meth:`Event.cancel_wait` detaches a waiter, and :func:`wait_any` races a
   set of events against an optional timeout with guaranteed cleanup.
 
@@ -23,9 +24,14 @@ timeouts, withdraws conditions from their constituent events, and purges
 store getter queues — so a killed process reclaims everything it was blocked
 on, and the heap does not fill with dead timers at scale.
 
-Scheduling is split over **three lanes** (see :class:`Environment`): an
-urgent same-tick deque, a normal same-tick deque, and the time-ordered heap;
-the heap carries both full events and bare ``call_at`` callback entries.
+Scheduling is split over **four lanes** (see :class:`Environment`): an
+urgent same-tick deque, a normal same-tick deque, a hashed timer wheel for
+future timers within its horizon, and the time-ordered heap; the heap
+carries both full events and bare ``call_at`` callback entries.  Wheel
+entries are staged as ready-made heap tuples (their sequence number is drawn
+at schedule time) and are flushed into the heap before the clock can reach
+their window, so same-timestamp ordering is bit-for-bit identical whether a
+timer rode the wheel or went straight to the heap.
 
 The implementation is intentionally dependency-free and deterministic: events
 scheduled at the same virtual time fire in lane order (urgent before normal)
@@ -53,6 +59,7 @@ __all__ = [
     "AnyOf",
     "AllOf",
     "CallHandle",
+    "PeriodicHandle",
     "Environment",
     "WaitOutcome",
     "wait_any",
@@ -257,14 +264,16 @@ class Timeout(Event):
     """An event that fires ``delay`` units of virtual time in the future.
 
     A zero-delay timeout joins the same-tick FIFO lane (no heap traffic); a
-    positive delay is pushed on the heap.  A pending timeout can be
-    :meth:`cancel`-led: the heap entry is tombstoned (skipped on pop, removed
-    in bulk by compaction) and its callbacks never run.  Timeouts also cancel
+    positive delay is staged on the timer wheel (or pushed on the heap past
+    the wheel horizon).  A pending timeout can be :meth:`cancel`-led: a
+    wheel entry is swap-removed immediately, a heap entry is tombstoned
+    (skipped on pop, removed in bulk by compaction) — either way its
+    callbacks never run.  Timeouts also cancel
     *themselves* when their last waiter detaches — the abandon cascade — so
     the losing timer of a reply-vs-timeout race does not linger in the heap.
     """
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_in_wheel", "_wheel_pos")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         # Timeouts dominate event allocation on the protocol hot paths, so
@@ -279,8 +288,40 @@ class Timeout(Event):
         self._cancelled = False
         self._abandon_hook = _cancel_on_abandon
         self.delay = delay
+        self._in_wheel = False
         if delay > 0.0:
-            _heappush(env._queue, (env._now + delay, next(env._counter), self))
+            when = env._now + delay
+            entry = (when, next(env._counter), self)
+            # Inlined Environment._wheel_schedule: timeouts dominate the
+            # schedule rate, so the wheel placement is done without the
+            # method-call round trip (same logic, same counters).
+            size = env._wheel_size
+            if size:
+                granularity = env._wheel_granularity
+                if not env._wheel_count:
+                    base = int(env._now / granularity)
+                    if base > env._wheel_next_slot:
+                        env._wheel_next_slot = base
+                        env._wheel_next_boundary = base * granularity
+                index = int(when / granularity)
+                if index * granularity > when:
+                    index -= 1
+                offset = index - env._wheel_next_slot
+                if 0 <= offset < size:
+                    slot_index = index % size
+                    slot = env._wheel_slots[slot_index]
+                    # Truthy slot token (index + 1) plus the in-slot position:
+                    # cancel swap-removes the entry at exactly this spot.
+                    self._wheel_pos = len(slot)
+                    slot.append(entry)
+                    env._wheel_count += 1
+                    self._in_wheel = slot_index + 1
+                else:
+                    if offset >= size:
+                        env.wheel_overflows += 1
+                    _heappush(env._queue, entry)
+            else:
+                _heappush(env._queue, entry)
         elif delay == 0.0:
             env._tick.append(self)
         else:
@@ -291,8 +332,9 @@ class Timeout(Event):
 
         Returns True when the timeout was still pending (its callbacks will
         never run), False when it had already fired or been cancelled.  A
-        heap-resident timer becomes a tombstone counted by the compactor; a
-        same-tick (zero-delay) timer is simply skipped when its lane drains.
+        wheel-staged timer is swap-removed from its slot; a heap-resident
+        one becomes a tombstone counted by the compactor; a same-tick
+        (zero-delay) timer is simply skipped when its lane drains.
         """
         # callbacks is None from the moment the event is popped off the
         # schedule: a fired timeout is no longer a queue entry, so cancelling
@@ -307,6 +349,21 @@ class Timeout(Event):
             return True
         # Inlined Environment._note_cancellation (cancellation is hot).
         env = self.env
+        if self._in_wheel:
+            # Wheel-resident timer: swap-remove the entry from its slot (a
+            # window is an unordered bag, so order need not be preserved —
+            # only the displaced entry's recorded position moves with it).
+            slot = env._wheel_slots[self._in_wheel - 1]
+            pos = self._wheel_pos
+            last = slot.pop()
+            if pos < len(slot):
+                slot[pos] = last
+                marker = last[2]
+                if marker is not None:
+                    marker._wheel_pos = pos
+            env._wheel_count -= 1
+            self._in_wheel = False
+            return True
         env._dead_entries += 1
         if (
             env._dead_entries >= env._COMPACTION_MIN_DEAD
@@ -337,18 +394,20 @@ class CallHandle:
     """Cancellation token for a :meth:`Environment.call_at_cancellable` entry.
 
     The heap entry itself is a bare tuple; this handle is the only per-call
-    allocation, and only cancellable calls pay it.  A cancelled handle is a
-    heap tombstone exactly like a cancelled :class:`Timeout`: it is counted
-    in :meth:`Environment.queue_stats`, skipped when it surfaces at the top,
+    allocation, and only cancellable calls pay it.  A wheel-staged entry is
+    swap-removed on cancel (no residue); a heap-resident one becomes a
+    tombstone exactly like a cancelled :class:`Timeout` — counted in
+    :meth:`Environment.queue_stats`, skipped when it surfaces at the top,
     and dropped in bulk by :meth:`Environment._compact`.
     """
 
-    __slots__ = ("env", "_cancelled", "_fired")
+    __slots__ = ("env", "_cancelled", "_fired", "_in_wheel", "_wheel_pos")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self._cancelled = False
         self._fired = False
+        self._in_wheel = False
 
     @property
     def cancelled(self) -> bool:
@@ -366,6 +425,18 @@ class CallHandle:
             return False
         self._cancelled = True
         env = self.env
+        if self._in_wheel:
+            slot = env._wheel_slots[self._in_wheel - 1]
+            pos = self._wheel_pos
+            last = slot.pop()
+            if pos < len(slot):
+                slot[pos] = last
+                marker = last[2]
+                if marker is not None:
+                    marker._wheel_pos = pos
+            env._wheel_count -= 1
+            self._in_wheel = False
+            return True
         env._dead_entries += 1
         if (
             env._dead_entries >= env._COMPACTION_MIN_DEAD
@@ -377,6 +448,145 @@ class CallHandle:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
         return f"<CallHandle {state}>"
+
+
+class PeriodicHandle:
+    """A self-re-arming periodic callback (see :meth:`Environment.call_periodic`).
+
+    One handle serves the whole lifetime of a periodic activity: each firing
+    runs ``fn(arg)`` and then re-arms the *same* handle at the next beat —
+    per beat the only kernel traffic is one schedule (wheel append or heap
+    push), no per-beat :class:`Event`, :class:`Timeout` or handle allocation.
+    The next-beat delay comes from ``interval`` or, when given, from
+    ``interval_fn()`` (evaluated after ``fn`` runs, so jittered cadences draw
+    their randomness at exactly the position a hand-rolled re-arming callback
+    would).  Cancellation is O(1) and may happen at any time, including from
+    inside ``fn`` itself (the handle then simply never re-arms).
+    """
+
+    __slots__ = (
+        "env",
+        "fn",
+        "arg",
+        "interval",
+        "interval_fn",
+        "when",
+        "fired",
+        "_cancelled",
+        "_in_wheel",
+        "_wheel_pos",
+        "_armed",
+    )
+
+    def __init__(
+        self,
+        env: "Environment",
+        interval: float | None,
+        fn: Callable[[Any], None],
+        arg: Any = None,
+        interval_fn: Callable[[], float] | None = None,
+    ) -> None:
+        self.env = env
+        self.fn = fn
+        self.arg = arg
+        self.interval = interval
+        self.interval_fn = interval_fn
+        #: virtual time of the next scheduled beat (observability / tests).
+        self.when = env._now
+        #: number of beats fired so far.
+        self.fired = 0
+        self._cancelled = False
+        self._in_wheel = False
+        self._armed = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the periodic activity has been cancelled."""
+        return self._cancelled
+
+    @property
+    def pending(self) -> bool:
+        """True while a next beat is scheduled."""
+        return self._armed and not self._cancelled
+
+    def cancel(self) -> bool:
+        """Stop the periodic activity; True unless already cancelled."""
+        if self._cancelled:
+            return False
+        self._cancelled = True
+        env = self.env
+        if self._in_wheel:
+            slot = env._wheel_slots[self._in_wheel - 1]
+            pos = self._wheel_pos
+            last = slot.pop()
+            if pos < len(slot):
+                slot[pos] = last
+                marker = last[2]
+                if marker is not None:
+                    marker._wheel_pos = pos
+            env._wheel_count -= 1
+            self._in_wheel = False
+        elif self._armed:
+            env._dead_entries += 1
+            if (
+                env._dead_entries >= env._COMPACTION_MIN_DEAD
+                and 2 * env._dead_entries >= len(env._queue)
+            ):
+                env._compact()
+        # Not armed (cancelled from inside fn, mid-fire): nothing is queued,
+        # so there is no tombstone to account for.
+        return True
+
+    def _arm(self, delay: float) -> None:
+        if delay <= 0.0:
+            raise SimulationError(f"periodic interval must be positive, got {delay!r}")
+        env = self.env
+        when = env._now + delay
+        self.when = when
+        entry = (when, next(env._counter), self)
+        self._armed = True
+        # Inlined Environment._wheel_schedule (one call fewer per beat; the
+        # re-arm is the whole per-beat cost of a periodic).
+        size = env._wheel_size
+        if size:
+            granularity = env._wheel_granularity
+            if not env._wheel_count:
+                base = int(env._now / granularity)
+                if base > env._wheel_next_slot:
+                    env._wheel_next_slot = base
+                    env._wheel_next_boundary = base * granularity
+            index = int(when / granularity)
+            if index * granularity > when:
+                index -= 1
+            offset = index - env._wheel_next_slot
+            if 0 <= offset < size:
+                slot_index = index % size
+                slot = env._wheel_slots[slot_index]
+                self._wheel_pos = len(slot)
+                slot.append(entry)
+                env._wheel_count += 1
+                self._in_wheel = slot_index + 1
+                return
+            if offset >= size:
+                env.wheel_overflows += 1
+        _heappush(env._queue, entry)
+
+    def _fire(self) -> None:
+        """Kernel callback: run one beat, then re-arm in place."""
+        self._in_wheel = False
+        self._armed = False
+        self.fired += 1
+        self.fn(self.arg)
+        if self._cancelled:
+            return
+        interval_fn = self.interval_fn
+        self._arm(self.interval if interval_fn is None else interval_fn())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else (
+            "armed" if self._armed else "idle"
+        )
+        return f"<PeriodicHandle {state} fired={self.fired} next={self.when!r}>"
 
 
 class Process(Event):
@@ -631,6 +841,7 @@ class Condition(Event):
         untriggered when still pending — nobody is waiting for it anymore.
         """
         check = self._check
+        env = self.env
         dead = 0
         for event in self.events:
             callbacks = event.callbacks
@@ -656,12 +867,27 @@ class Condition(Event):
                         continue
                     event._cancelled = True
                     if event.delay != 0.0:
-                        dead += 1  # heap tombstone (same-tick ones just drain)
+                        if event._in_wheel:
+                            # Wheel-staged loser: swap-removed on the spot
+                            # (inlined Timeout.cancel wheel branch).
+                            slot = env._wheel_slots[event._in_wheel - 1]
+                            pos = event._wheel_pos
+                            last = slot.pop()
+                            if pos < len(slot):
+                                slot[pos] = last
+                                marker = last[2]
+                                if marker is not None:
+                                    marker._wheel_pos = pos
+                            env._wheel_count -= 1
+                            event._in_wheel = False
+                        else:
+                            # Heap-resident loser: tombstoned (the same-tick
+                            # ones just drain).
+                            dead += 1
                 else:
                     hook(event)
         if dead:
             # One batched tombstone-accounting pass for the whole loser set.
-            env = self.env
             env._dead_entries += dead
             if (
                 env._dead_entries >= env._COMPACTION_MIN_DEAD
@@ -800,7 +1026,7 @@ def wait_any(env: "Environment", events: Iterable[Event], timeout: float | None 
 
 
 class Environment:
-    """The simulation environment: virtual clock plus a three-lane schedule.
+    """The simulation environment: virtual clock plus a four-lane schedule.
 
     Work pending at the current tick is kept out of the heap entirely:
 
@@ -811,21 +1037,39 @@ class Environment:
       current time: ``succeed``/``fail`` chains, condition triggers,
       zero-delay timeouts, and zero-delay :meth:`call_at` callbacks.  Drained
       after the urgent lane, before the clock may advance.
-    * **event heap** — the time-ordered heap for future work.  It holds both
-      full events (``(time, seq, event)``) and bare callback entries
-      scheduled with :meth:`call_at` (``(time, seq, None, fn, arg)``, with a
-      :class:`CallHandle` in place of ``None`` for cancellable calls) — the
-      callback lane costs one tuple per call instead of an :class:`Event`
-      allocation, which is what keeps per-message transport delivery
-      allocation-free.
+    * **timer wheel** — a hashed wheel of ``wheel_slots`` fixed windows of
+      ``wheel_granularity`` virtual seconds each.  Future timers within the
+      wheel horizon are *staged* here as ready-made heap tuples — their
+      sequence number is drawn at schedule time — and the whole window is
+      flushed into the heap just before the clock can reach it, so ordering
+      is bit-for-bit what a direct heap push would have produced.  A window
+      is an *unordered* staging bag — each entry carries its own (time, seq)
+      key — so schedule and cancel are both true O(1): an append, and a
+      swap-remove of the entry at its recorded slot position.  The dense
+      periodic traffic of the protocol layers (heartbeats, retry ladders,
+      replication cadences, detector timeouts) never pays O(log n) heap
+      churn, and the cancelled majority of raced timers leaves no residue
+      at all — no tombstone, no compaction debt, no cache footprint.
+      Timers beyond the horizon (and timers whose window already flushed)
+      cascade to the heap; ``wheel_slots=0`` disables the lane entirely.
+    * **event heap** — the time-ordered heap for near-term and overflow
+      work.  It holds both full events (``(time, seq, event)``) and bare
+      callback entries scheduled with :meth:`call_at` (``(time, seq, None,
+      fn, arg)``, with a :class:`CallHandle` in place of ``None`` for
+      cancellable calls) — the callback lane costs one tuple per call
+      instead of an :class:`Event` allocation, which is what keeps
+      per-message transport delivery allocation-free.
 
     Within a lane, ordering is FIFO; across lanes at one tick it is urgent →
-    same-tick → heap entries due now.  Cancelled heap entries (timers and
-    call handles) stay behind as *tombstones*: they are skipped when they
-    surface at the top, and when they outnumber half of the heap (past a
-    small floor) the whole heap is compacted in one O(n) pass.  This keeps
-    both cancellation and scheduling O(log live) amortised, no matter how
-    many raced-and-lost timers the protocol layers churn through.
+    same-tick → heap entries due now (wheel entries re-join the heap before
+    they can be due).  Cancelled heap entries (timers and call handles) stay
+    behind as *tombstones*: they are skipped when they surface at the top,
+    and when they outnumber half of the heap (past a small floor) the whole
+    schedule is compacted in one O(n) pass; cancelled wheel entries are
+    swap-removed on the spot and need no compaction.  This keeps both
+    cancellation and scheduling O(log live) amortised, no matter how many
+    raced-and-lost
+    timers the protocol layers churn through.
     """
 
     #: never compact below this many tombstones (avoids thrashing tiny heaps).
@@ -833,7 +1077,13 @@ class Environment:
     #: gen-0 GC threshold applied while run() drains the schedule (see run()).
     _GC_BATCH_GEN0 = 100_000
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        *,
+        wheel_granularity: float = 1.0,
+        wheel_slots: int = 256,
+    ) -> None:
         self._now = float(initial_time)
         #: time-ordered heap of (time, seq, event) / (time, seq, fn, arg[, handle]).
         self._queue: list[tuple] = []
@@ -852,6 +1102,27 @@ class Environment:
         #: high-water mark of the heap size, tombstones included (observed
         #: at stats snapshots and compactions; see queue_stats()).
         self.peak_heap_size = 0
+        # Timer-wheel lane state (see the class docstring).
+        if wheel_granularity <= 0.0:
+            raise SimulationError("wheel_granularity must be positive")
+        if wheel_slots < 0:
+            raise SimulationError("wheel_slots must be non-negative")
+        self._wheel_granularity = float(wheel_granularity)
+        self._wheel_size = int(wheel_slots)
+        self._wheel_slots: list[list[tuple]] = [[] for _ in range(self._wheel_size)]
+        #: absolute index of the first window not yet flushed into the heap.
+        base = int(self._now / self._wheel_granularity)
+        self._wheel_next_slot = base
+        self._wheel_next_boundary = base * self._wheel_granularity
+        #: entries currently staged on the wheel (all live: a cancel removes
+        #: its entry from the slot in place, so the wheel holds no tombstones).
+        self._wheel_count = 0
+        #: number of non-empty windows flushed into the heap.
+        self.wheel_flushes = 0
+        #: entries that overflowed the horizon and cascaded to the heap.
+        self.wheel_overflows = 0
+        #: high-water mark of staged wheel entries (sampled like peak_heap_size).
+        self.peak_wheel_size = 0
 
     # -- clock --------------------------------------------------------------
     @property
@@ -904,7 +1175,9 @@ class Environment:
         if when <= self._now:
             self._tick.append((fn, arg))
             return
-        _heappush(self._queue, (when, next(self._counter), None, fn, arg))
+        entry = (when, next(self._counter), None, fn, arg)
+        if not self._wheel_schedule(when, entry):
+            _heappush(self._queue, entry)
 
     def call_at_cancellable(
         self, when: float, fn: Callable[[Any], None], arg: Any = None
@@ -912,15 +1185,133 @@ class Environment:
         """Schedule ``fn(arg)`` at ``when``; returns a :class:`CallHandle`.
 
         Like :meth:`call_at` plus one :class:`CallHandle` allocation; the
-        handle's :meth:`~CallHandle.cancel` tombstones the entry exactly like
-        a cancelled timer (honoured by :meth:`queue_stats` and
-        :meth:`_compact`).  Entries due in the past fire at the current tick.
+        handle's :meth:`~CallHandle.cancel` is O(1) in either lane — a
+        wheel-staged entry is swap-removed, a heap-resident one tombstoned
+        exactly like a cancelled timer.  Entries due in the past fire at the
+        current tick.
         """
         handle = CallHandle(self)
         if when < self._now:
             when = self._now
-        _heappush(self._queue, (when, next(self._counter), handle, fn, arg))
+        entry = (when, next(self._counter), handle, fn, arg)
+        slot_token = self._wheel_schedule(when, entry)
+        if slot_token:
+            handle._in_wheel = slot_token
+        else:
+            _heappush(self._queue, entry)
         return handle
+
+    def call_periodic(
+        self,
+        interval: float | None,
+        fn: Callable[[Any], None],
+        arg: Any = None,
+        *,
+        first_delay: float | None = None,
+        interval_fn: Callable[[], float] | None = None,
+    ) -> PeriodicHandle:
+        """Schedule ``fn(arg)`` every ``interval``; returns a :class:`PeriodicHandle`.
+
+        The returned handle re-arms itself *in place* after each beat: the
+        whole periodic activity costs one handle allocation up front and one
+        O(1) wheel append per beat — no per-beat Event/Timeout/handle churn.
+        ``first_delay`` (default: one interval) desynchronises the first
+        beat; ``interval_fn``, when given, supplies each next-beat delay
+        (evaluated *after* ``fn`` runs) for jittered cadences — ``interval``
+        may then be ``None``.  Cancel with
+        :meth:`PeriodicHandle.cancel` (O(1), allowed from inside ``fn``).
+        """
+        if interval is None and interval_fn is None:
+            raise SimulationError("call_periodic needs interval or interval_fn")
+        if interval is not None and interval <= 0.0:
+            raise SimulationError(f"periodic interval must be positive, got {interval!r}")
+        handle = PeriodicHandle(self, interval, fn, arg, interval_fn)
+        delay = first_delay
+        if delay is None:
+            delay = interval if interval_fn is None else interval_fn()
+        handle._arm(delay)
+        return handle
+
+    # -- timer wheel ---------------------------------------------------------
+    def _wheel_schedule(self, when: float, entry: tuple) -> int:
+        """Stage ``entry`` on the wheel; 0 (falsy) → the caller must heap-push.
+
+        On success the return value is the slot token (slot index + 1, always
+        truthy) the caller stores in its ``_in_wheel``; the in-slot position
+        is recorded on the entry's marker (``entry[2]``, when present) so a
+        later cancel can swap-remove exactly that entry.
+
+        Entries land in the window containing ``when``; a window is flushed
+        into the heap (in one batch, before the clock can reach it) by
+        :meth:`_skim`.  Entries whose window already flushed, and entries
+        beyond the horizon (counted in ``wheel_overflows``), go straight to
+        the heap.  The entry's sequence number was drawn by the caller, so
+        flushing preserves exactly the (time, seq) order a direct push would
+        have produced.
+        """
+        size = self._wheel_size
+        if not size:
+            return 0
+        granularity = self._wheel_granularity
+        if not self._wheel_count:
+            # Empty wheel: drag the flush cursor up to the present so a long
+            # quiet spell does not leave the horizon anchored in the past.
+            base = int(self._now / granularity)
+            if base > self._wheel_next_slot:
+                self._wheel_next_slot = base
+                self._wheel_next_boundary = base * granularity
+        index = int(when / granularity)
+        if index * granularity > when:
+            # Float-division rounding put `when` past its true window; a
+            # window must never start after an entry it holds fires.
+            index -= 1
+        offset = index - self._wheel_next_slot
+        if offset < 0:
+            return 0
+        if offset >= size:
+            self.wheel_overflows += 1
+            return 0
+        slot_index = index % size
+        slot = self._wheel_slots[slot_index]
+        marker = entry[2]
+        if marker is not None:
+            marker._wheel_pos = len(slot)
+        slot.append(entry)
+        self._wheel_count += 1
+        return slot_index + 1
+
+    def _flush_wheel(self) -> None:
+        """Flush matured windows into the heap (every entry is live).
+
+        Called by :meth:`_skim` when the next unflushed window starts at or
+        before the heap top (or the heap is empty): windows are pushed in
+        batch while their boundary does not exceed the next live heap entry,
+        so every staged entry re-joins the heap strictly before the clock
+        can reach its window.  Empty windows just advance the cursor.
+        Cancels swap-removed their entries at cancel time, so a slot never
+        holds dead entries to skip.
+        """
+        queue = self._queue
+        slots = self._wheel_slots
+        size = self._wheel_size
+        granularity = self._wheel_granularity
+        next_slot = self._wheel_next_slot
+        while self._wheel_count:
+            if queue and next_slot * granularity > queue[0][0]:
+                break
+            slot = slots[next_slot % size]
+            next_slot += 1
+            if slot:
+                self.wheel_flushes += 1
+                self._wheel_count -= len(slot)
+                for entry in slot:
+                    marker = entry[2]
+                    if marker is not None:
+                        marker._in_wheel = False
+                    _heappush(queue, entry)
+                slot.clear()
+        self._wheel_next_slot = next_slot
+        self._wheel_next_boundary = next_slot * granularity
 
     # -- tombstone bookkeeping -----------------------------------------------
     # Cancellation accounting lives inline in Timeout.cancel / CallHandle.cancel
@@ -928,11 +1319,13 @@ class Environment:
     # _skim(), shared by peek(), step() and the run() drain loop.
 
     def _compact(self) -> None:
-        """Drop every tombstone from the heap in one pass and re-heapify.
+        """Drop every heap tombstone in one pass (filter + re-heapify).
 
-        Covers both tombstone kinds: cancelled events and cancelled
-        :meth:`call_at_cancellable` handles (entry[2] is the event, the
-        handle, or None for an uncancellable :meth:`call_at` entry).
+        Both tombstone kinds are handled — cancelled events and cancelled
+        :meth:`call_at_cancellable` / :meth:`call_periodic` handles
+        (entry[2] is the event, the handle, or None for an uncancellable
+        :meth:`call_at` entry).  The wheel needs no pass: a wheel cancel
+        swap-removes its entry immediately, so only heap entries tombstone.
         """
         heap_size = len(self._queue)
         if heap_size > self.peak_heap_size:
@@ -950,7 +1343,11 @@ class Environment:
 
         The single tombstone-pop loop used by :meth:`peek`, :meth:`step` and
         the :meth:`run` drain loop, so the top-of-heap scan is written (and
-        paid) once.
+        paid) once.  Also the wheel's integration point: once the next
+        unflushed window starts at or before the (live) heap top — or the
+        heap is empty — the matured windows are flushed into the heap before
+        the caller may pop, which is exactly what keeps wheel residency
+        invisible to event ordering.
         """
         queue = self._queue
         while queue:
@@ -959,32 +1356,59 @@ class Environment:
                 break
             _heappop(queue)
             self._dead_entries -= 1
+        if self._wheel_count:
+            if not queue or self._wheel_next_boundary <= queue[0][0]:
+                self._flush_wheel()
         return queue
 
     def queue_stats(self) -> dict[str, int]:
         """Schedule occupancy snapshot: live vs dead entries, peaks, compactions.
 
-        ``dead_entries`` counts both cancelled timers and cancelled
-        :class:`CallHandle` entries still sitting in the heap.
-        ``peak_heap_size`` is the high-water mark observed at the sampling
-        points (stats snapshots and compactions — the heap is largest right
-        before a compaction, so those points bracket the true peak) rather
-        than being re-checked on every push, which keeps the per-event
-        schedule path free of bookkeeping.
+        ``dead_entries`` counts cancelled timers and cancelled handle entries
+        still sitting in the heap (the wheel never holds tombstones — a
+        wheel cancel swap-removes its entry immediately); ``live_entries``
+        spans both lanes (``wheel_entries`` + live heap entries).
+        ``peak_heap_size`` / ``peak_wheel_size`` are high-water marks
+        observed at the sampling points (stats snapshots and compactions —
+        the lanes are largest right before a compaction, so those points
+        bracket the true peak) rather than being re-checked on every push,
+        which keeps the per-event schedule path free of bookkeeping.
         """
         heap_size = len(self._queue)
         if heap_size > self.peak_heap_size:
             self.peak_heap_size = heap_size
+        wheel_size = self._wheel_count
+        if wheel_size > self.peak_wheel_size:
+            self.peak_wheel_size = wheel_size
         return {
             "heap_size": heap_size,
             "dead_entries": self._dead_entries,
-            "live_entries": heap_size - self._dead_entries,
+            "live_entries": heap_size - self._dead_entries + self._wheel_count,
             "tick_queued": len(self._tick),
             "urgent_queued": len(self._urgent),
             "peak_heap_size": self.peak_heap_size,
             "compactions": self.compactions,
             "events_processed": self.events_processed,
+            "wheel_entries": self._wheel_count,
+            "wheel_slots": self._wheel_size,
+            "wheel_flushes": self.wheel_flushes,
+            "wheel_overflows": self.wheel_overflows,
+            "peak_wheel_size": self.peak_wheel_size,
         }
+
+    def reset_counters(self) -> None:
+        """Reset the event sequence counter (long-run hygiene).
+
+        The tie-breaking counter grows without bound — harmless for any one
+        scenario, but a very long realtime session (or a process embedding
+        many back-to-back runs in one Environment) can reset it between
+        runs.  Only legal while the schedule is completely empty: a pending
+        entry holds a drawn sequence number, and resetting under it would
+        break FIFO ordering.
+        """
+        if self._queue or self._tick or self._urgent or self._wheel_count:
+            raise SimulationError("reset_counters() requires an empty schedule")
+        self._counter = itertools.count()
 
     def peek(self) -> float:
         """Time of the next *live* scheduled work item, or ``inf`` if none.
@@ -1036,6 +1460,10 @@ class Environment:
                 if marker is not None:
                     marker._fired = True
                 entry[3](entry[4])
+                return
+            if marker.__class__ is PeriodicHandle:
+                self.events_processed += 1
+                marker._fire()
                 return
             event = marker
         self.events_processed += 1
@@ -1137,6 +1565,10 @@ class Environment:
                         marker._fired = True
                     entry[3](entry[4])
                     continue
+                if marker.__class__ is PeriodicHandle:
+                    self.events_processed += 1
+                    marker._fire()
+                    continue
                 event = marker
             self.events_processed += 1
             callbacks, event.callbacks = event.callbacks, None
@@ -1164,5 +1596,8 @@ class Environment:
         return self.events_processed - before
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        live = len(self._queue) - self._dead_entries + len(self._tick) + len(self._urgent)
+        live = (
+            len(self._queue) - self._dead_entries + self._wheel_count
+            + len(self._tick) + len(self._urgent)
+        )
         return f"<Environment now={self._now!r} pending={live}>"

@@ -24,6 +24,21 @@ class StoreClosed(RuntimeError):
     """Raised (as an event failure) on pending gets when a store is closed."""
 
 
+class _BatchGet(Event):
+    """Marker event for :meth:`Store.get_all` (batched, coalescing gets).
+
+    ``_wake_armed`` is True while a same-tick finalize callback is queued:
+    every further put in that tick just appends its item — the waiting
+    receiver is resumed once, with the whole batch.
+    """
+
+    __slots__ = ("_wake_armed",)
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env)
+        self._wake_armed = False
+
+
 class Store:
     """An unbounded (or capacity-bounded) FIFO store of arbitrary items."""
 
@@ -67,6 +82,21 @@ class Store:
         self._dispatch()
         return event
 
+    def put_nowait(self, item: Any) -> bool:
+        """Deposit ``item`` without allocating an outcome event.
+
+        The cheap path for producers that never look at the put outcome
+        (e.g. transport delivery): returns False instead of failing an event
+        when the store is closed or full.  Getter dispatch is identical to
+        :meth:`put`.
+        """
+        if self._closed or len(self.items) >= self.capacity:
+            return False
+        self.items.append(item)
+        if self._getters:
+            self._dispatch()
+        return True
+
     def get(self) -> Event:
         """Return an event that triggers with the next available item."""
         event = Event(self.env)
@@ -74,6 +104,43 @@ class Store:
         self._getters.append(event)
         self._dispatch()
         return event
+
+    def get_all(self) -> Event:
+        """Return an event that triggers with *all* available items (a list).
+
+        Batched, coalescing semantics: if items are already queued the event
+        triggers in the current tick with the whole backlog; otherwise the
+        first put arms a same-tick finalize callback and every further
+        same-tick put joins the batch — the waiter is resumed exactly once
+        per tick however many items arrive.  FIFO order is preserved both
+        within the batch and across getters (a batch getter waits its turn
+        behind earlier plain getters).
+        """
+        event = _BatchGet(self.env)
+        event._abandon_hook = self._abandon_getter
+        self._getters.append(event)
+        if self.items:
+            self._dispatch()
+        return event
+
+    def _finalize_batch(self, getter: _BatchGet) -> None:
+        """Same-tick callback draining the batch into a parked batch getter."""
+        getter._wake_armed = False
+        if getter.triggered or not self.items or getter not in self._getters:
+            # Raced with close()/abandon, or the items were taken by an
+            # earlier getter: leave the getter parked for the next put.
+            return
+        if self._getters[0] is not getter:
+            # Earlier getters still queued (plain gets registered after the
+            # items arrived would have consumed them in _dispatch already;
+            # this is purely defensive FIFO protection).
+            self._dispatch()
+            if getter.triggered or not self.items or getter not in self._getters:
+                return
+        self._getters.remove(getter)
+        items = list(self.items)
+        self.items.clear()
+        getter.succeed(items)
 
     def _abandon_getter(self, event: Event) -> None:
         """Purge a getter whose last waiter detached (killed / lost a race).
@@ -116,15 +183,27 @@ class Store:
 
     # -- internals -----------------------------------------------------------
     def _dispatch(self) -> None:
-        while self._getters and self.items:
-            getter = self._getters.popleft()
+        getters = self._getters
+        while getters and self.items:
+            getter = getters[0]
             if getter.triggered:  # cancelled getter
+                getters.popleft()
                 continue
+            if type(getter) is _BatchGet:
+                # Park the batch getter until the end of the current tick:
+                # one finalize callback drains everything that arrived by
+                # then in a single receiver resume.  Later getters stay
+                # queued behind it (FIFO).
+                if not getter._wake_armed:
+                    getter._wake_armed = True
+                    self.env.call_at(self.env.now, self._finalize_batch, getter)
+                return
+            getters.popleft()
             item = self._select_item(getter)
             if item is _NO_ITEM:
                 # No item matches this getter: park it back and stop; a later
                 # put may satisfy it.
-                self._getters.appendleft(getter)
+                getters.appendleft(getter)
                 return
             getter.succeed(item)
 
@@ -154,6 +233,9 @@ class FilterStore(Store):
         super()._abandon_getter(event)
         if not event.triggered:
             self._predicates.pop(event, None)
+
+    def get_all(self) -> Event:  # pragma: no cover - misuse guard
+        raise SimulationError("get_all() is only supported on plain Store")
 
     def _dispatch(self) -> None:
         progressed = True
@@ -207,6 +289,9 @@ class PriorityStore(Store):
         event.succeed(item)
         self._dispatch()
         return event
+
+    def get_all(self) -> Event:  # pragma: no cover - misuse guard
+        raise SimulationError("get_all() is only supported on plain Store")
 
     def try_get(self) -> Any | None:
         if self._heap and not self._getters:

@@ -11,7 +11,12 @@ from repro.net.latency import (
     LanLinkModel,
     PerfectLinkModel,
 )
-from repro.net.message import ENVELOPE_OVERHEAD_BYTES, Message, MessageType
+from repro.net.message import (
+    ENVELOPE_OVERHEAD_BYTES,
+    Message,
+    MessagePool,
+    MessageType,
+)
 from repro.net.partition import PartitionManager
 from repro.net.topology import Site, SiteMap
 from repro.net.transport import Network
@@ -314,3 +319,136 @@ class TestNetwork:
         env.run()
         first = endpoint_b.mailbox.try_get()
         assert first.mtype is MessageType.PONG
+
+
+class TestBatchedDelivery:
+    """recv_many: same-tick deliveries coalesce into one receiver resume."""
+
+    def _zero_delay(self, env):
+        network = Network(env, link_model=PerfectLinkModel(latency=0.0))
+        network.register(A)
+        return network, network.register(B)
+
+    def test_same_tick_batch_resumes_receiver_once_in_fifo_order(self, env):
+        network, endpoint = self._zero_delay(env)
+        batches = []
+
+        def receiver():
+            while True:
+                batch = yield endpoint.recv_many()
+                batches.append([m.payload["n"] for m in batch])
+
+        env.process(receiver())
+        for n in range(3):
+            network.send(Message(MessageType.PING, A, B, payload={"n": n}))
+        env.run()
+        # One resume, the whole same-tick batch, in delivery order.
+        assert batches == [[0, 1, 2]]
+
+    def test_batches_split_across_ticks(self, env):
+        network, endpoint = self._zero_delay(env)
+        batches = []
+
+        def receiver():
+            while True:
+                batch = yield endpoint.recv_many()
+                batches.append((env.now, [m.payload["n"] for m in batch]))
+
+        def sender():
+            network.send(Message(MessageType.PING, A, B, payload={"n": 0}))
+            network.send(Message(MessageType.PING, A, B, payload={"n": 1}))
+            yield env.timeout(1.0)
+            network.send(Message(MessageType.PING, A, B, payload={"n": 2}))
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        assert batches == [(0.0, [0, 1]), (1.0, [2])]
+
+    def test_backlog_delivered_whole_on_late_recv_many(self, env):
+        network, endpoint = self._zero_delay(env)
+        for n in range(4):
+            network.send(Message(MessageType.PING, A, B, payload={"n": n}))
+        env.run()
+
+        def receiver():
+            batch = yield endpoint.recv_many()
+            return [m.payload["n"] for m in batch]
+
+        process = env.process(receiver())
+        env.run()
+        assert process.value == [0, 1, 2, 3]
+
+    def test_recv_and_recv_many_interleave_fifo(self, env):
+        network, endpoint = self._zero_delay(env)
+
+        def receiver():
+            first = yield endpoint.recv()
+            rest = yield endpoint.recv_many()
+            return [first.payload["n"]] + [m.payload["n"] for m in rest]
+
+        process = env.process(receiver())
+        for n in range(3):
+            network.send(Message(MessageType.PING, A, B, payload={"n": n}))
+        env.run()
+        assert process.value == [0, 1, 2]
+
+
+class TestMessagePool:
+    """Envelope pooling: recycling, the release contract, id monotonicity."""
+
+    def test_acquire_release_reacquire_recycles_the_envelope(self):
+        pool = MessagePool()
+        first = pool.acquire(MessageType.PING, A, B, {"n": 1})
+        assert pool.release(first)
+        second = pool.acquire(MessageType.PONG, B, A, {"n": 2})
+        assert second is first  # same envelope object, fully rewritten
+        assert second.mtype is MessageType.PONG
+        assert second.payload == {"n": 2}
+        assert pool.stats()["hit_rate"] == 0.5  # one miss, one hit
+
+    def test_msg_ids_stay_monotonic_across_recycling(self):
+        pool = MessagePool()
+        seen = []
+        for n in range(5):
+            message = pool.acquire(MessageType.PING, A, B, {"n": n})
+            seen.append(message.msg_id)
+            message.release()
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+        # A plain user-held message keeps drawing from the same sequence.
+        assert Message(MessageType.PING, A, B).msg_id > seen[-1]
+
+    def test_ordinary_message_is_never_pooled(self):
+        pool = MessagePool()
+        message = Message(MessageType.PING, A, B)
+        assert not message.release()
+        assert not pool.release(message)
+        assert pool.stats()["pooled"] == 0
+
+    def test_buckets_keyed_by_payload_shape(self):
+        pool = MessagePool()
+        heartbeat = pool.acquire(MessageType.PING, A, B, {"working_on": None})
+        heartbeat.release()
+        # A different payload shape must not steal the heartbeat envelope.
+        other = pool.acquire(MessageType.PING, A, B, {"job": 1, "rank": 2})
+        assert other is not heartbeat
+        again = pool.acquire(MessageType.PING, A, B, {"working_on": "job-7"})
+        assert again is heartbeat
+
+    def test_full_bucket_drops_release(self):
+        pool = MessagePool(max_per_bucket=1)
+        first = pool.acquire(MessageType.PING, A, B)
+        second = pool.acquire(MessageType.PING, A, B)
+        assert first.release()
+        assert not second.release()
+        stats = pool.stats()
+        assert stats["dropped"] == 1
+        assert stats["pooled"] == 1
+
+    def test_double_release_is_rejected_by_capacity(self, env):
+        # Releasing twice must not create two pooled aliases of one envelope.
+        pool = MessagePool(max_per_bucket=1)
+        message = pool.acquire(MessageType.PING, A, B)
+        assert message.release()
+        assert not message.release()
