@@ -1,0 +1,134 @@
+"""Crowd-tier performance benchmark: statistical clients at 100k-1M scale.
+
+The full-protocol client tier tops out around 10k nodes (one Python object
+plus generator processes per client — see ``BENCH_transport.json``).  The
+crowd tier (:mod:`repro.crowd`) holds the whole population as numpy
+struct-of-arrays columns advanced in one vectorized ``tick()`` per scheduler
+period and talks to **live, unmodified** full-protocol coordinators and
+servers through aggregated batch envelopes, which is what this benchmark
+measures: a 100k/500k/1M-client crowd submitting through a sharded
+4-coordinator / 8-server core, every client completing end to end.
+
+Running this file writes ``BENCH_crowd.json`` at the repository root with
+crowd-client-ticks/sec (population rows advanced per wall second) and
+kernel events/sec at each scale; CI diffs it against the committed baseline
+and fails on a >20% events/sec regression (see
+``benchmarks/check_bench_regression.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.scenarios.engine import FaultPlan, GridTopology, WorkloadSpec, execute_benchmark
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_crowd.json"
+
+#: crowd sizes measured (the ISSUE's 100k / 500k / 1M ladder).
+SCALES = (100_000, 500_000, 1_000_000)
+#: full-protocol core serving the crowd (live coordinators + servers).
+N_COORDINATORS = 4
+N_SERVERS = 8
+#: arrivals spread over this window; the run must drain it completely.
+THINK_WINDOW = 40.0
+HORIZON = 120.0
+TICK_PERIOD = 1.0
+#: aggregate service time per member call (keeps the server pool loaded but
+#: never saturated, so completion bounds the virtual — not wall — clock).
+EXEC_TIME_PER_CALL = 1e-5
+
+#: acceptance floor: population rows advanced per wall second at 100k.
+MIN_CROWD_TICKS_PER_SEC = 1_000_000
+
+
+def _run_scale(n_clients: int) -> dict:
+    start = time.perf_counter()
+    report = execute_benchmark(
+        topology=GridTopology(
+            n_servers=N_SERVERS,
+            n_coordinators=N_COORDINATORS,
+            spread_servers=True,
+        ),
+        # A token full-protocol workload rides along so the classic client
+        # path stays exercised next to the crowd.
+        workload=WorkloadSpec(n_calls=2, exec_time=0.5),
+        faults=FaultPlan(),
+        seed=7,
+        horizon=HORIZON,
+        run_full_horizon=True,
+        record_kernel=True,
+        components=[
+            {
+                "name": "tier.crowd",
+                "params": {
+                    "n_clients": n_clients,
+                    "think_window": THINK_WINDOW,
+                    "tick_period": TICK_PERIOD,
+                    "exec_time_per_call": EXEC_TIME_PER_CALL,
+                    "retry_timeout": 10.0,
+                    "result_patience": 40.0,
+                },
+            }
+        ],
+    )
+    wall = time.perf_counter() - start
+
+    crowd = report.crowd or {}
+    kernel = report.kernel or {}
+    # Every statistical client must complete end to end against the live
+    # coordinator/server core — the crowd is a protocol participant, not a
+    # detached counter loop.
+    assert crowd.get("completed", 0) == n_clients, crowd
+    assert crowd.get("duplicate_completions", 0) == 0, crowd
+    assert report.completed >= report.submitted, (report.completed, report.submitted)
+
+    client_ticks = int(crowd.get("client_ticks", 0))
+    events = int(kernel.get("events_processed", 0))
+    return {
+        "clients": n_clients,
+        "coordinators": N_COORDINATORS,
+        "servers": N_SERVERS,
+        "wall_seconds": round(wall, 4),
+        "ticks": int(crowd.get("ticks", 0)),
+        "client_ticks": client_ticks,
+        "batches_sent": int(crowd.get("batches_sent", 0)),
+        "batch_resends": int(crowd.get("batch_resends", 0)),
+        "completed": int(crowd.get("completed", 0)),
+        "max_queue_depth": int(crowd.get("max_queue_depth", 0)),
+        "events_processed": events,
+        "crowd_ticks_per_sec": round(client_ticks / wall, 1),
+        "events_per_sec": round((client_ticks + events) / wall, 1),
+    }
+
+
+def test_crowd_benchmark_writes_bench_json():
+    scales = {}
+    for n_clients in SCALES:
+        scales[str(n_clients)] = _run_scale(n_clients)
+
+    # The tentpole acceptance floor: >=100k clients advancing against live
+    # full-protocol coordinators/servers at >=1M crowd-client-ticks/sec.
+    floor = scales[str(SCALES[0])]["crowd_ticks_per_sec"]
+    assert floor >= MIN_CROWD_TICKS_PER_SEC, scales[str(SCALES[0])]
+
+    payload = {
+        "benchmark": "crowd-tier",
+        "think_window": THINK_WINDOW,
+        "tick_period": TICK_PERIOD,
+        "exec_time_per_call": EXEC_TIME_PER_CALL,
+        "metric": (
+            "crowd_ticks_per_sec = population rows advanced (clients x "
+            "ticks) / wall seconds; events_per_sec adds the kernel events "
+            "of the live coordinator/server core serving the aggregated "
+            "batch envelopes; every client completes end to end"
+        ),
+        "scales": scales,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nBENCH_crowd.json: {json.dumps(scales, indent=2)}")

@@ -432,10 +432,14 @@ class ClientComponent:
 
     # ----------------------------------------------------------------- loops
     def _recv_loop(self):
+        # Batched drain (recv_many): fan-in replies — submit acks, pulled
+        # results — landing in the same tick resume the session once, not
+        # once per message.
         try:
             while True:
-                message: Message = yield self.host.recv()
-                self._dispatch(message)
+                batch: list[Message] = yield self.host.recv_many()
+                for message in batch:
+                    self._dispatch(message)
         except ProcessKilled:  # pragma: no cover - host crash
             return
 

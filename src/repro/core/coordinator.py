@@ -33,6 +33,7 @@ from repro.core.protocol import (
     TASK_DESCRIPTION_BYTES,
     TaskRecord,
     identity_to_key,
+    key_to_identity,
 )
 from repro.core.registry import CoordinatorRegistry
 from repro.core.replication import ReplicaState, build_state, merge_state
@@ -313,6 +314,12 @@ class CoordinatorComponent:
             # Heart-beats are handled entirely in place (values copied out
             # above), so their pooled envelopes go back to the free list.
             message.release()
+        elif mtype is MessageType.CROWD_SUBMIT_BATCH:
+            yield from self._charge(overhead)
+            yield from self._on_crowd_submit(message)
+        elif mtype is MessageType.CROWD_HEARTBEAT:
+            # Aggregate liveness summaries need no per-client bookkeeping.
+            message.release()
         elif mtype is MessageType.CLIENT_HEARTBEAT:
             message.release()  # nothing to do beyond receiving it
         elif mtype is MessageType.COORD_HEARTBEAT:
@@ -377,6 +384,107 @@ class CoordinatorComponent:
                 size_bytes=32,
             )
         )
+
+    # -------------------------------------------------------------- crowd tier
+    def _on_crowd_submit(self, message: Message):
+        """Expand one aggregated crowd envelope into one task record.
+
+        A batch of ``count`` statistical clients becomes a single task whose
+        execution time already aggregates the member calls; the batch id is
+        stable across re-sends, so a duplicate envelope (retry, or re-route to
+        this coordinator as the shard's ring successor) de-duplicates on the
+        task key exactly like a duplicate ``RPC_SUBMIT`` — no client is ever
+        committed twice.
+        """
+        payload = message.payload
+        crowd = str(payload.get("crowd", "crowd"))
+        shard = int(payload.get("shard", 0))
+        batch = int(payload.get("batch", 0))
+        count = int(payload.get("count", 0))
+        key = (f"crowd:{crowd}", f"shard{shard}", batch)
+        task = self.tasks.get(key)
+        if task is None:
+            source = message.source
+            call = CallDescription(
+                identity=key_to_identity(key),
+                service=str(payload.get("service", "crowd")),
+                params_bytes=message.size_bytes,
+                result_bytes=int(payload.get("result_bytes", 64)),
+                exec_time=payload.get("exec_time"),
+                # The args replicate with the task record, so whichever
+                # coordinator finishes the batch can push the result back.
+                args={
+                    "crowd": crowd,
+                    "shard": shard,
+                    "batch": batch,
+                    "count": count,
+                    "reply_to": [source.kind, source.name],
+                },
+            )
+            record = TaskRecord(
+                call=call,
+                state=TaskState.PENDING,
+                owner=self.name,
+                submitted_at=self.env.now,
+            )
+            self.tasks[key] = record
+            self._mark_dirty(key)
+            cost = self.database.charge_write(
+                key, {"state": record.state.value}, TASK_DESCRIPTION_BYTES + call.params_bytes
+            )
+            yield from self._charge(cost)
+            self.monitor.incr("coordinator.crowd_batches")
+            self.monitor.incr("coordinator.crowd_calls", count)
+        else:
+            self.monitor.incr("coordinator.duplicate_crowd_batches")
+            if not (isinstance(task.call.args, dict) and "crowd" in task.call.args):
+                # The record pre-exists without crowd args (a TASK_RESULT for
+                # a batch assigned by a now-dead coordinator arrived before
+                # this envelope; result payloads carry no call description).
+                # Adopt the envelope's routing so the batch can complete.
+                source = message.source
+                task.call.args = {
+                    "crowd": crowd,
+                    "shard": shard,
+                    "batch": batch,
+                    "count": count,
+                    "reply_to": [source.kind, source.name],
+                }
+            if task.state is TaskState.FINISHED:
+                # The crowd is retrying a batch we already finished: the
+                # result push was lost (or raced the retry) — push it again.
+                self._notify_crowd(key, task)
+        self.host.send(
+            message.reply(
+                MessageType.CROWD_SUBMIT_ACK,
+                payload={"batch": batch, "shard": shard, "count": count},
+                size_bytes=24,
+            )
+        )
+
+    def _notify_crowd(self, key: tuple, task: TaskRecord) -> None:
+        """Push a finished crowd batch back to the crowd component."""
+        args = task.call.args
+        if not (isinstance(args, dict) and "crowd" in args):
+            return
+        reply_to = args.get("reply_to")
+        if not reply_to:
+            return
+        self.host.send(
+            Message(
+                mtype=MessageType.CROWD_RESULT_BATCH,
+                source=self.address,
+                dest=Address(str(reply_to[0]), str(reply_to[1])),
+                payload={
+                    "crowd": args.get("crowd"),
+                    "shard": args.get("shard"),
+                    "batch": args.get("batch"),
+                    "count": args.get("count"),
+                },
+                size_bytes=32,
+            )
+        )
+        self.monitor.incr("coordinator.crowd_results_pushed")
 
     def _on_result_pull(self, message: Message):
         user, session = message.payload.get("session", ("", ""))
@@ -525,6 +633,7 @@ class CoordinatorComponent:
         if newly_finished:
             self.monitor.incr("coordinator.results")
             self._sample_completed()
+            self._notify_crowd(key, task)
         else:
             self.monitor.incr("coordinator.duplicate_results")
         self.host.send(

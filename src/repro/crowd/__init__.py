@@ -1,0 +1,23 @@
+"""Vectorized crowd tier: statistical client populations at 100k-1M scale.
+
+The full-protocol :class:`~repro.core.client.ClientComponent` models one
+client as Python objects and generator processes — faithful, but two orders
+of magnitude short of the paper's "heavy traffic from millions of users".
+This package models a *crowd* of clients as numpy struct-of-arrays columns
+advanced in one vectorized ``tick()`` per scheduler period, emitting
+**aggregated** RPC envelopes (batched submits, batched result
+acknowledgements, heart-beat summaries) into the existing transport so real
+coordinators and servers serve the crowd unmodified.
+
+Layout:
+
+* :mod:`repro.crowd.sharding` — the task-id-space partition across k
+  coordinators with deterministic ring-successor handoff (pure Python);
+* :mod:`repro.crowd.table`    — the numpy population table (imports numpy);
+* :mod:`repro.crowd.component` — the ``tier.crowd`` platform component
+  (numpy is only required once a crowd component is actually set up).
+"""
+
+from repro.crowd.sharding import ShardMap
+
+__all__ = ["ShardMap"]

@@ -1,0 +1,176 @@
+"""The crowd population table: struct-of-arrays client state in numpy.
+
+One :class:`CrowdTable` holds the session state of the whole crowd as
+parallel columns (the vivarium population-table pattern): instead of one
+Python object and one generator process per client, every per-tick decision
+— who is due to submit, who joins the next batch, who completes — is a
+vectorized operation over the columns.  That is what moves the per-client
+ceiling from ~10k full-protocol nodes to 100k-1M statistical clients.
+
+Columns
+=======
+
+``state``      int8   lifecycle: IDLE -> PENDING -> INFLIGHT -> DONE
+``submit_at``  f64    virtual time the client's (single) call becomes due
+``retry_at``   f64    deadline of the batch currently carrying the client
+``backoff``    int16  how many times the client's batch has been re-sent
+``batch``      int64  id of the batch carrying the client (-1 = none)
+``lane``       uint64 per-client RNG lane, drawn once from the ``crn.crowd``
+                      stream; every per-client random quantity is a pure
+                      function of (lane, salt), so think times are identical
+                      across paired-CRN sweep arms
+
+The table is deliberately free of any messaging or scheduling logic: the
+:class:`~repro.crowd.component.CrowdComponent` decides *when* to call these
+methods and *where* the resulting batches go.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CrowdTable", "IDLE", "PENDING", "INFLIGHT", "DONE", "id_ranges"]
+
+#: lifecycle states of the ``state`` column.
+IDLE, PENDING, INFLIGHT, DONE = 0, 1, 2, 3
+
+#: splitmix64 mixing constants (public domain; the standard finalizer).
+_SM_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def id_ranges(ids: np.ndarray) -> int:
+    """Number of maximal contiguous runs in the (sorted, unique) ``ids``.
+
+    Batched envelopes carry their member ids as ranges; this is the honest
+    wire-size term (``12 bytes * ranges``) of one batch.
+    """
+    if ids.size == 0:
+        return 0
+    return int(np.count_nonzero(np.diff(ids) > 1)) + 1
+
+
+class CrowdTable:
+    """Struct-of-arrays state of ``n_clients`` statistical clients."""
+
+    def __init__(
+        self,
+        n_clients: int,
+        lane_source: np.random.Generator,
+        think_window: float,
+        now: float = 0.0,
+    ) -> None:
+        n = int(n_clients)
+        if n <= 0:
+            raise ValueError("a crowd needs at least one client")
+        if think_window <= 0:
+            raise ValueError("think_window must be positive")
+        self.n_clients = n
+        self.think_window = float(think_window)
+        self.state = np.zeros(n, dtype=np.int8)
+        self.submit_at = np.empty(n, dtype=np.float64)
+        self.retry_at = np.full(n, np.inf, dtype=np.float64)
+        self.backoff = np.zeros(n, dtype=np.int16)
+        self.batch = np.full(n, -1, dtype=np.int64)
+        #: one uint64 lane per client — the only draw the table ever takes
+        #: from its source stream, so paired-CRN arms stay in lockstep.
+        self.lane = lane_source.integers(
+            0, np.iinfo(np.uint64).max, size=n, dtype=np.uint64, endpoint=False
+        )
+        self.submit_at[:] = now + self.think_window * self._lane_uniform(1)
+        #: clients completed exactly once (transitions into DONE).
+        self.completed = 0
+        #: completion notifications for already-DONE clients.
+        self.duplicate_completions = 0
+
+    # ------------------------------------------------------------------ RNG
+    def _lane_uniform(self, salt: int) -> np.ndarray:
+        """Uniform [0, 1) per client, a pure function of (lane, salt)."""
+        with np.errstate(over="ignore"):
+            z = self.lane + np.uint64(salt) * _SM_GAMMA
+            z = (z ^ (z >> np.uint64(30))) * _SM_MIX1
+            z = (z ^ (z >> np.uint64(27))) * _SM_MIX2
+            z = z ^ (z >> np.uint64(31))
+        return (z >> np.uint64(11)).astype(np.float64) * 2.0**-53
+
+    # ------------------------------------------------------------ lifecycle
+    def due(self, now: float) -> int:
+        """Promote every IDLE client whose submit time has passed to PENDING."""
+        mask = (self.state == IDLE) & (self.submit_at <= now)
+        count = int(np.count_nonzero(mask))
+        if count:
+            self.state[mask] = PENDING
+        return count
+
+    def claim(
+        self, lo: int, hi: int, batch_id: int, now: float, deadline: float
+    ) -> np.ndarray:
+        """Move every PENDING client in ``[lo, hi)`` into one in-flight batch.
+
+        Returns the claimed client ids (sorted ascending; possibly empty).
+        """
+        ids = np.flatnonzero(self.state[lo:hi] == PENDING)
+        if ids.size:
+            ids = ids + lo
+            self.state[ids] = INFLIGHT
+            self.batch[ids] = batch_id
+            self.retry_at[ids] = deadline
+        return ids
+
+    def mark_retry(self, ids: np.ndarray, deadline: float) -> None:
+        """Record one re-send of the batch carrying ``ids``."""
+        if ids.size:
+            self.backoff[ids] += 1
+            self.retry_at[ids] = deadline
+
+    def mark_done(self, ids: np.ndarray) -> int:
+        """Complete ``ids``; returns how many were *newly* completed."""
+        if not ids.size:
+            return 0
+        new = int(np.count_nonzero(self.state[ids] != DONE))
+        self.state[ids] = DONE
+        self.retry_at[ids] = np.inf
+        self.batch[ids] = -1
+        self.completed += new
+        self.duplicate_completions += int(ids.size) - new
+        return new
+
+    def surge(self, now: float, factor: float) -> int:
+        """Compress every future submit time toward ``now`` by ``factor``.
+
+        The flash-crowd event: clients that would have trickled in over the
+        remaining window all become due within ``remaining / factor`` — a
+        sudden ``factor``-times submit-rate spike with the *same* relative
+        arrival order (so paired sweep arms stay comparable).  Returns how
+        many clients were accelerated.
+        """
+        if factor <= 1.0:
+            return 0
+        mask = (self.state == IDLE) & (self.submit_at > now)
+        count = int(np.count_nonzero(mask))
+        if count:
+            self.submit_at[mask] = now + (self.submit_at[mask] - now) / factor
+        return count
+
+    # ----------------------------------------------------------- reporting
+    def counts(self) -> dict[str, int]:
+        """Population per lifecycle state."""
+        histogram = np.bincount(self.state, minlength=4)
+        return {
+            "idle": int(histogram[IDLE]),
+            "pending": int(histogram[PENDING]),
+            "inflight": int(histogram[INFLIGHT]),
+            "done": int(histogram[DONE]),
+        }
+
+    def queue_depth(self) -> int:
+        """Clients submitted (or due) but not yet completed."""
+        return int(np.count_nonzero(
+            (self.state == PENDING) | (self.state == INFLIGHT)
+        ))
+
+    @property
+    def all_done(self) -> bool:
+        """Whether every client completed."""
+        return self.completed >= self.n_clients

@@ -207,11 +207,30 @@ class Grid:
                             return True
         return False
 
+    def kernel_stats(self) -> dict:
+        """Kernel load snapshot: event-queue occupancy plus envelope pooling.
+
+        Combines the environment's :meth:`queue_stats` (heap/wheel occupancy,
+        wheel flushes, events processed) with the process-global message-pool
+        hit rate, so benchmark rows can record kernel load alongside protocol
+        counters.  Pool numbers are cumulative per *process* — comparable
+        within a run, not across parallel workers.
+        """
+        from repro.net.message import default_pool
+
+        stats = dict(self.env.queue_stats())
+        pool = default_pool().stats()
+        stats["pool_hit_rate"] = pool.get("hit_rate", 0.0)
+        stats["pool_hits"] = pool.get("hits", 0)
+        stats["pool_releases"] = pool.get("releases", 0)
+        return stats
+
     def stats(self) -> dict:
         """Aggregated scenario statistics."""
         return {
             "now": self.env.now,
             "finished": self.total_finished(),
+            "kernel": self.kernel_stats(),
             "client": self.clients[0].stats() if self.clients else {},
             "coordinators": {c.address.name: c.stats() for c in self.coordinators},
             "network": self.network.stats(),

@@ -78,6 +78,12 @@ class MessageType(enum.Enum):
     ARCHIVE_FETCH = "archive-fetch"
     ARCHIVE_REPLY = "archive-reply"
 
+    # crowd tier <-> coordinator (aggregated envelopes; see repro.crowd)
+    CROWD_SUBMIT_BATCH = "crowd-submit-batch"
+    CROWD_SUBMIT_ACK = "crowd-submit-ack"
+    CROWD_RESULT_BATCH = "crowd-result-batch"
+    CROWD_HEARTBEAT = "crowd-heartbeat"
+
     # generic
     PING = "ping"
     PONG = "pong"

@@ -44,6 +44,7 @@ _BUILTIN_MODULES: tuple[str, ...] = (
     "repro.policies.scheduling",
     "repro.policies.replication",
     "repro.policies.logging",
+    "repro.crowd.component",
 )
 _loaded = False
 

@@ -330,6 +330,7 @@ def execute_benchmark(
     run_full_horizon: bool = False,
     record_fault_streams: bool = False,
     record_detection: bool = False,
+    record_kernel: bool = False,
 ) -> RunReport:
     """Run the §5.1 synthetic benchmark once over the declared pieces.
 
@@ -411,6 +412,26 @@ def execute_benchmark(
         )
     if record_fault_streams:
         report.fault_streams = grid.rng.fingerprint(FAULT_STREAM_PREFIXES)
+    if record_kernel:
+        report.kernel = grid.kernel_stats()
+    # A crowd-tier extra contributes its aggregate population to the run's
+    # totals (one statistical client = one call) and its counters to the
+    # report, so a flash-crowd cell measures the crowd, not just the seed
+    # workload riding along.
+    crowd_stats: dict[str, Any] = {}
+    for extra in extras:
+        if getattr(extra, "tier", None) != "crowd":
+            continue
+        stats = extra.stats()
+        report.submitted += int(stats.get("clients", 0))
+        report.completed += int(stats.get("completed", 0))
+        for key, value in stats.items():
+            crowd_stats[key] = crowd_stats.get(key, 0) + value
+    if crowd_stats:
+        report.crowd = crowd_stats
+        report.finished_in_time = report.finished_in_time and (
+            crowd_stats.get("completed", 0) >= crowd_stats.get("clients", 0)
+        )
     return report
 
 
@@ -445,6 +466,7 @@ def benchmark_cell(
     run_full_horizon: bool = False,
     record_fault_streams: bool = False,
     record_detection: bool = False,
+    record_kernel: bool = False,
     **component_params: Any,
 ) -> dict[str, Any]:
     """Flat-keyword cell kernel over :func:`execute_benchmark`.
@@ -545,5 +567,6 @@ def benchmark_cell(
         run_full_horizon=run_full_horizon,
         record_fault_streams=record_fault_streams,
         record_detection=record_detection,
+        record_kernel=record_kernel,
     )
     return report.outputs()

@@ -32,6 +32,7 @@ _BUILTIN_MODULES: tuple[str, ...] = (
     "repro.experiments",
     "repro.scenarios.library",
     "repro.scenarios.robustness",
+    "repro.scenarios.crowd",
 )
 _loaded = False
 

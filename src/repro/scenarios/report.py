@@ -30,6 +30,12 @@ class RunReport:
     wrong_suspicions: int | None = None
     suspicion_transitions: int | None = None
     fault_streams: dict[str, str] | None = None
+    #: kernel load snapshot (wheel occupancy, flushes, pool hit-rate);
+    #: stamped when the engine runs with ``record_kernel=True``.
+    kernel: dict[str, Any] | None = None
+    #: aggregated crowd-tier counters, flattened into the outputs as
+    #: ``crowd_*`` when a ``tier="crowd"`` component took part in the run.
+    crowd: dict[str, Any] | None = None
 
     @property
     def all_completed(self) -> bool:
@@ -53,4 +59,9 @@ class RunReport:
             out["suspicion_transitions"] = self.suspicion_transitions
         if self.fault_streams is not None:
             out["fault_streams"] = self.fault_streams
+        if self.kernel is not None:
+            out["kernel"] = self.kernel
+        if self.crowd is not None:
+            for key, value in self.crowd.items():
+                out[f"crowd_{key}"] = value
         return out
