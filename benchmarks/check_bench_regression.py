@@ -10,8 +10,11 @@ Compares the per-scale ``events_per_sec`` of a freshly produced benchmark
 file (``BENCH_kernel.json`` from ``benchmarks/test_perf_kernel.py`` or
 ``BENCH_transport.json`` from ``benchmarks/test_perf_transport.py``) against
 the committed baseline and exits non-zero when any scale regressed by more
-than ``--max-regression`` (a fraction; default 20%).  Speed-ups and small
-noise are reported but never fail the gate.  When the benchmark records a
+than ``--max-regression`` (a fraction; default 20%).  Every per-scale group
+in the baseline is gated: ``scales`` plus any auxiliary ``*_scales`` table
+(the transport benchmark's ``fanin_scales``, the kernel benchmark's
+``ladder_scales``), so regressions in secondary tables cannot land
+silently.  Speed-ups and small noise are reported but never fail the gate.  When the benchmark records a
 machine-independent head-to-head ratio (the kernel benchmark's 1k
 ``speedup`` and its ``min_speedup`` floor), that floor is checked too;
 benchmarks without one (the transport file) are gated on the per-scale
@@ -57,24 +60,33 @@ def main() -> int:
     fresh = json.loads(args.fresh.read_text())
     failures: list[str] = []
 
-    for scale, base in sorted(baseline["scales"].items(), key=lambda kv: int(kv[0])):
-        new = fresh["scales"].get(scale)
-        if new is None:
-            failures.append(f"scale {scale}: missing from fresh results")
+    groups = ["scales"] + sorted(
+        key for key in baseline if key != "scales" and key.endswith("_scales")
+    )
+    for group in groups:
+        fresh_group = fresh.get(group)
+        if fresh_group is None:
+            failures.append(f"{group}: missing from fresh results")
             continue
-        base_eps = float(base["events_per_sec"])
-        new_eps = float(new["events_per_sec"])
-        drop = (base_eps - new_eps) / base_eps
-        status = "ok" if drop <= args.max_regression else "REGRESSION"
-        print(
-            f"scale {scale:>5}: baseline {base_eps:>10.0f} ev/s, "
-            f"fresh {new_eps:>10.0f} ev/s, change {-drop:+.1%} [{status}]"
-        )
-        if drop > args.max_regression:
-            failures.append(
-                f"scale {scale}: events/sec dropped {drop:.1%} "
-                f"(max allowed {args.max_regression:.0%})"
+        for scale, base in sorted(baseline[group].items(), key=lambda kv: int(kv[0])):
+            new = fresh_group.get(scale)
+            label = scale if group == "scales" else f"{group}:{scale}"
+            if new is None:
+                failures.append(f"{label}: missing from fresh results")
+                continue
+            base_eps = float(base["events_per_sec"])
+            new_eps = float(new["events_per_sec"])
+            drop = (base_eps - new_eps) / base_eps
+            status = "ok" if drop <= args.max_regression else "REGRESSION"
+            print(
+                f"{label:>18}: baseline {base_eps:>10.0f} ev/s, "
+                f"fresh {new_eps:>10.0f} ev/s, change {-drop:+.1%} [{status}]"
             )
+            if drop > args.max_regression:
+                failures.append(
+                    f"{label}: events/sec dropped {drop:.1%} "
+                    f"(max allowed {args.max_regression:.0%})"
+                )
 
     if args.flatness is not None:
         low, high, ratio_text = args.flatness.split(":")

@@ -50,6 +50,11 @@ FANIN_SCALES = {1000: 40, 5000: 16, 10000: 10}
 #: heart-beat period of the fan-in senders (all in phase, so every tick
 #: lands FANIN_RATIO same-tick deliveries per coordinator mailbox).
 FANIN_BEAT = 1.0
+#: best-of runs per scale (same rationale as the kernel benchmark: host
+#: scheduling noise only ever slows a run down, so the best of a few
+#: interleaved reps is the unbiased estimate of the pipeline's actual cost,
+#: and the committed baseline inherits that robustness).
+REPS = 3
 
 
 def _addresses(nodes: int) -> list[Address]:
@@ -242,14 +247,32 @@ def _run_fanin(senders: int, beats: int) -> dict:
     }
 
 
-def test_transport_benchmark_writes_bench_json():
-    scales = {}
-    for nodes, messages in SCALES.items():
-        scales[str(nodes)] = _run_scenario(nodes, messages)
+def _pick_best(runs_by_scale: dict[int, list[dict]]) -> dict[str, dict]:
+    """Best events/sec row per scale; all observed throughputs recorded."""
+    results = {}
+    for scale, runs in runs_by_scale.items():
+        result = max(runs, key=lambda r: r["events_per_sec"])
+        result["events_per_sec_runs"] = [r["events_per_sec"] for r in runs]
+        results[str(scale)] = result
+    return results
 
-    fanin = {}
-    for senders, beats in FANIN_SCALES.items():
-        fanin[str(senders)] = _run_fanin(senders, beats)
+
+def test_transport_benchmark_writes_bench_json():
+    # Reps are interleaved across every scale of BOTH workloads (1k, 5k, 10k
+    # point-to-point, then 1k, 5k, 10k fan-in, then the next rep of each)
+    # rather than run in per-scale or per-workload blocks: host slow phases
+    # last several seconds, so a block design lets one phase sink all of a
+    # scale's reps at once — spreading the reps across the full benchmark
+    # window keeps at least one rep per scale clear of any single phase.
+    scenario_runs: dict[int, list[dict]] = {scale: [] for scale in SCALES}
+    fanin_runs: dict[int, list[dict]] = {scale: [] for scale in FANIN_SCALES}
+    for _ in range(REPS):
+        for nodes, messages in SCALES.items():
+            scenario_runs[nodes].append(_run_scenario(nodes, messages))
+        for senders, beats in FANIN_SCALES.items():
+            fanin_runs[senders].append(_run_fanin(senders, beats))
+    scales = _pick_best(scenario_runs)
+    fanin = _pick_best(fanin_runs)
 
     payload = {
         "benchmark": "transport-zero-allocation-delivery",
