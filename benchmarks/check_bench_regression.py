@@ -18,7 +18,8 @@ silently.  Speed-ups and small noise are reported but never fail the gate.  When
 machine-independent head-to-head ratio (the kernel benchmark's 1k
 ``speedup`` and its ``min_speedup`` floor), that floor is checked too;
 benchmarks without one (the transport file) are gated on the per-scale
-events/sec alone.
+events/sec alone.  Any ``comparison*`` group is gated the same way (the
+protocol benchmark's ``comparison_100k`` indexed-vs-scan head-to-head).
 
 ``--flatness LOW:HIGH:RATIO`` adds a scale-flatness gate on the *fresh*
 results alone: events/sec at the HIGH scale must be at least RATIO times
@@ -112,12 +113,16 @@ def main() -> int:
                     f"{low}-scale throughput (floor {floor})"
                 )
 
-    if "comparison_1k" in fresh or "min_speedup" in fresh:
-        speedup = float(fresh.get("comparison_1k", {}).get("speedup", 0.0))
+    comparisons = sorted(key for key in fresh if key.startswith("comparison"))
+    if comparisons or "min_speedup" in fresh:
         floor = float(fresh.get("min_speedup", baseline.get("min_speedup", 2.0)))
-        print(f"1k-node speedup vs legacy kernel: {speedup:.2f}x (floor {floor}x)")
-        if speedup < floor:
-            failures.append(f"speedup {speedup:.2f}x below the {floor}x floor")
+        for key in comparisons or ["comparison_1k"]:
+            speedup = float(fresh.get(key, {}).get("speedup", 0.0))
+            print(f"{key} speedup vs legacy baseline: {speedup:.2f}x (floor {floor}x)")
+            if speedup < floor:
+                failures.append(
+                    f"{key}: speedup {speedup:.2f}x below the {floor}x floor"
+                )
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

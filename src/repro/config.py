@@ -156,6 +156,12 @@ class CoordinatorConfig:
     #: database costs.  This is what produces the paper's ~17 % infrastructure
     #: overhead on the 96x10 s benchmark.
     request_processing_overhead: float = 0.08
+    #: maintain the incremental :class:`~repro.core.taskindex.TaskIndex` over
+    #: the task table (O(log n) scheduling, O(dirty) replication builds, O(1)
+    #: state counts).  Off restores the legacy scan-everything data plane —
+    #: behaviorally identical, kept for equivalence tests and as the
+    #: benchmark's head-to-head baseline.
+    use_task_index: bool = True
 
     def validate(self) -> None:
         self.replication.validate()

@@ -20,6 +20,7 @@ from repro.core.protocol import (
 from repro.core.registry import CoordinatorRegistry
 from repro.core.replication import ReplicaState, build_state, merge_state
 from repro.core.scheduler import FcfsScheduler, SchedulingDecision
+from repro.core.taskindex import TaskIndex
 from repro.core.server import ServerComponent
 from repro.core.services import ServiceRegistry, ServiceSpec, default_registry
 from repro.core.session import Session
@@ -48,6 +49,7 @@ __all__ = [
     "ServiceRegistry",
     "ServiceSpec",
     "Session",
+    "TaskIndex",
     "TASK_DESCRIPTION_BYTES",
     "TaskRecord",
     "build_state",

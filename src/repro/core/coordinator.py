@@ -38,6 +38,7 @@ from repro.core.protocol import (
 from repro.core.registry import CoordinatorRegistry
 from repro.core.replication import ReplicaState, build_state, merge_state
 from repro.core.synchronization import plan_client_sync, plan_server_sync
+from repro.core.taskindex import TaskIndex
 from repro.policies.resolve import (
     detection_policy_from,
     replication_policy_from,
@@ -97,7 +98,16 @@ class CoordinatorComponent:
         self.server_detector = self._make_detector()
         self.coordinator_detector = self._make_detector()
         self.known_servers: set[Address] = set()
-        self._dirty: set[tuple] = set()
+        #: keys queued for the next state propagation.  Insertion-ordered
+        #: (dict, not set): replication rounds re-order them by table
+        #: sequence, and a deterministic iteration order keeps parallel and
+        #: sequential sweeps byte-identical under hash randomization.
+        self._dirty: dict[tuple, None] = {}
+        #: incrementally maintained views of the task table (None = legacy
+        #: scan-everything data plane, see CoordinatorConfig.use_task_index).
+        self.index: TaskIndex | None = (
+            TaskIndex(self.tasks) if self.config.use_task_index else None
+        )
         self._replica_ack_waiters: dict[int, Event] = {}
         #: round id -> {"event", "acks", "needed"} for in-flight quorum rounds.
         self._quorum_waiters: dict[int, dict[str, Any]] = {}
@@ -112,6 +122,24 @@ class CoordinatorComponent:
         self._replication_rounds = 0
         self._coord_heartbeat: HeartbeatEmitter | None = None
         self.started = False
+
+        # Pre-resolved handles for the request-path counters: one name
+        # lookup here, plain attribute adds on every submission/assignment/
+        # result/replication afterwards.
+        monitor = self.monitor
+        self._ctr_submissions = monitor.counter("coordinator.submissions")
+        self._ctr_duplicate_submissions = monitor.counter(
+            "coordinator.duplicate_submissions"
+        )
+        self._ctr_assignments = monitor.counter("coordinator.assignments")
+        self._ctr_results = monitor.counter("coordinator.results")
+        self._ctr_duplicate_results = monitor.counter("coordinator.duplicate_results")
+        self._ctr_replications = monitor.counter("coordinator.replications")
+        self._ctr_crowd_batches = monitor.counter("coordinator.crowd_batches")
+        self._ctr_crowd_calls = monitor.counter("coordinator.crowd_calls")
+        self._ctr_duplicate_crowd_batches = monitor.counter(
+            "coordinator.duplicate_crowd_batches"
+        )
 
         host.on_restart(lambda _host: self.start())
 
@@ -173,7 +201,9 @@ class CoordinatorComponent:
         self.server_detector = self._make_detector()
         self.coordinator_detector = self._make_detector()
         self.known_servers = set()
-        self._dirty = set(self.tasks.keys())  # resync everything after a restart
+        self._dirty = dict.fromkeys(self.tasks)  # resync everything after a restart
+        if self.index is not None:
+            self.index.rebuild()
         self._replica_ack_waiters = {}
         self._quorum_waiters = {}
         self._archive_fetches_in_flight = {}
@@ -211,12 +241,24 @@ class CoordinatorComponent:
 
     # ------------------------------------------------------------------ helpers
     def _mark_dirty(self, key: tuple) -> None:
-        """Queue ``key`` for the next state propagation (policy notified)."""
-        self._dirty.add(key)
+        """Queue ``key`` for the next state propagation (policy notified).
+
+        This doubles as the task index's transition choke point: every
+        mutation path already marks the record dirty, so routing the
+        ``note`` through here keeps the index exact by construction.
+        """
+        if self.index is not None:
+            record = self.tasks.get(key)
+            if record is not None:
+                self.index.note(record, key)
+        self._dirty[key] = None
         self.replication_policy.on_dirty(self, key)
 
     def preload_tasks(
-        self, calls: "list[CallDescription]", state: TaskState = TaskState.PENDING
+        self,
+        calls: "list[CallDescription]",
+        state: TaskState = TaskState.PENDING,
+        mark_dirty: bool = True,
     ) -> list[tuple]:
         """Register task records directly, bypassing the submission protocol.
 
@@ -225,24 +267,32 @@ class CoordinatorComponent:
         simulating the client submissions.  Each call is recorded exactly as
         :meth:`_on_submit` would leave it: owned by this coordinator, marked
         for the next replication round, and charged to the database.  Returns
-        the task keys, in call order.
+        the task keys, in call order.  ``mark_dirty=False`` seeds the backlog
+        as already-propagated steady state (the protocol benchmark's ladder),
+        skipping the initial full-table replication storm.
         """
         keys: list[tuple] = []
         for call in calls:
             key = identity_to_key(call.identity)
-            self.tasks[key] = TaskRecord(
+            record = TaskRecord(
                 call=call,
                 state=state,
                 owner=self.name,
                 submitted_at=self.env.now,
             )
-            self._mark_dirty(key)
+            self.tasks[key] = record
+            if mark_dirty:
+                self._mark_dirty(key)
+            elif self.index is not None:
+                self.index.note(record, key)
             self.database.charge_write(key, {"state": state.value}, call.params_bytes)
             keys.append(key)
         return keys
 
     def finished_count(self) -> int:
         """Number of tasks this coordinator currently knows as finished."""
+        if self.index is not None:
+            return self.index.finished
         return sum(1 for t in self.tasks.values() if t.state is TaskState.FINISHED)
 
     def _sample_completed(self) -> None:
@@ -373,9 +423,9 @@ class CoordinatorComponent:
                 key, {"state": record.state.value}, TASK_DESCRIPTION_BYTES + call.params_bytes
             )
             yield from self._charge(cost)
-            self.monitor.incr("coordinator.submissions")
+            self._ctr_submissions.value += 1
         else:
-            self.monitor.incr("coordinator.duplicate_submissions")
+            self._ctr_duplicate_submissions.value += 1
 
         self.host.send(
             message.reply(
@@ -433,10 +483,10 @@ class CoordinatorComponent:
                 key, {"state": record.state.value}, TASK_DESCRIPTION_BYTES + call.params_bytes
             )
             yield from self._charge(cost)
-            self.monitor.incr("coordinator.crowd_batches")
-            self.monitor.incr("coordinator.crowd_calls", count)
+            self._ctr_crowd_batches.value += 1
+            self._ctr_crowd_calls.value += count
         else:
-            self.monitor.incr("coordinator.duplicate_crowd_batches")
+            self._ctr_duplicate_crowd_batches.value += 1
             if not (isinstance(task.call.args, dict) and "crowd" in task.call.args):
                 # The record pre-exists without crowd args (a TASK_RESULT for
                 # a batch assigned by a now-dead coordinator arrived before
@@ -450,6 +500,10 @@ class CoordinatorComponent:
                     "count": count,
                     "reply_to": [source.kind, source.name],
                 }
+                if self.index is not None:
+                    # Content change without a state transition: refresh the
+                    # cached replica entry, without re-dirtying the record.
+                    self.index.note(task, key)
             if task.state is TaskState.FINISHED:
                 # The crowd is retrying a batch we already finished: the
                 # result push was lost (or raced the retry) — push it again.
@@ -492,23 +546,28 @@ class CoordinatorComponent:
         wanted = {int(ts) for ts in pending} if pending is not None else None
         ready: list[dict[str, Any]] = []
         total_bytes = 0
-        for key, result in self.results.items():
-            if key[0] != user or key[1] != session:
-                continue
-            if wanted is not None and key[2] not in wanted:
-                continue
-            ready.append(result.to_payload())
-            total_bytes += result.size_bytes
-        # Completions we only know through replication: fetch their archives
-        # from the coordinator that produced/holds them, so a later pull can
-        # deliver them (archives are never replicated proactively).
-        for key, task in self.tasks.items():
-            if key[0] != user or key[1] != session:
-                continue
-            if wanted is not None and key[2] not in wanted:
-                continue
-            if task.state is TaskState.FINISHED and key not in self.results:
-                self._request_archive(key, task)
+        # A pull with an empty pending set can match nothing — skip the table
+        # walks entirely (idle clients poll every second, and each walk is
+        # O(table) on a deep coordinator).
+        if wanted is None or wanted:
+            for key, result in self.results.items():
+                if key[0] != user or key[1] != session:
+                    continue
+                if wanted is not None and key[2] not in wanted:
+                    continue
+                ready.append(result.to_payload())
+                total_bytes += result.size_bytes
+            # Completions we only know through replication: fetch their
+            # archives from the coordinator that produced/holds them, so a
+            # later pull can deliver them (archives are never replicated
+            # proactively).
+            for key, task in self.tasks.items():
+                if key[0] != user or key[1] != session:
+                    continue
+                if wanted is not None and key[2] not in wanted:
+                    continue
+                if task.state is TaskState.FINISHED and key not in self.results:
+                    self._request_archive(key, task)
         yield from self._charge(self.database.charge_scan())
         if total_bytes:
             # Result archives live on the coordinator's file system: shipping
@@ -571,6 +630,7 @@ class CoordinatorComponent:
             my_name=self.name,
             owner_suspected=self._owner_suspected,
             now=self.env.now,
+            index=self.index,
         )
         if decision.task is None:
             self.host.send(message.reply(MessageType.NO_WORK, payload={}, size_bytes=16))
@@ -583,7 +643,7 @@ class CoordinatorComponent:
             key, {"state": task.state.value}, TASK_DESCRIPTION_BYTES
         )
         yield from self._charge(cost)
-        self.monitor.incr("coordinator.assignments")
+        self._ctr_assignments.value += 1
         self.host.send(
             message.reply(
                 MessageType.TASK_ASSIGN,
@@ -631,11 +691,11 @@ class CoordinatorComponent:
         # Storing the archive costs a disk write proportional to its size.
         yield from self.host.disk_write(result.size_bytes)
         if newly_finished:
-            self.monitor.incr("coordinator.results")
+            self._ctr_results.value += 1
             self._sample_completed()
             self._notify_crowd(key, task)
         else:
-            self.monitor.incr("coordinator.duplicate_results")
+            self._ctr_duplicate_results.value += 1
         self.host.send(
             message.reply(
                 MessageType.TASK_RESULT_ACK,
@@ -744,6 +804,32 @@ class CoordinatorComponent:
     # The cadence (when rounds happen) lives in the replication policy
     # (policy.repl.*, installed by start()); this is the mechanism one round
     # runs through.
+    def _dirty_keys_in_table_order(self) -> list[tuple]:
+        """The dirty keys, ordered as a full table scan would list them.
+
+        Delta abstracts must serialize entries in the same order as full
+        ones (the legacy builder filtered a table walk), so downstream
+        merge/table insertion order is independent of *when* records got
+        dirty.  With the index this is O(d log d) in the dirty-set size;
+        without it, the legacy filtered walk.
+        """
+        if self.index is not None:
+            return self.index.table_ordered(self._dirty)
+        dirty = self._dirty
+        return [key for key in self.tasks if key in dirty]
+
+    def _build_state(self, keys: list[tuple] | None) -> ReplicaState:
+        """Build the (delta) state abstract for ``keys`` (None = full)."""
+        return build_state(
+            origin=self.name,
+            tasks=self.tasks,
+            client_timestamps=self.client_timestamps,
+            known_coordinators=[(c.kind, c.name) for c in self.registry.known()],
+            only_keys=keys,
+            now=self.env.now,
+            entry_for=self.index.replica_entry if self.index is not None else None,
+        )
+
     def replicate_once(self, force_full: bool = False):
         """One replication round: push (dirty) state to the ring successor.
 
@@ -753,15 +839,8 @@ class CoordinatorComponent:
         successor = self.registry.ring_successor(self.address)
         if successor is None:
             return False
-        keys = None if force_full else set(self._dirty)
-        state = build_state(
-            origin=self.name,
-            tasks=self.tasks,
-            client_timestamps=self.client_timestamps,
-            known_coordinators=[(c.kind, c.name) for c in self.registry.known()],
-            only_keys=keys,
-            now=self.env.now,
-        )
+        keys = None if force_full else self._dirty_keys_in_table_order()
+        state = self._build_state(keys)
         round_id = self._replication_rounds
         self._replication_rounds += 1
         ack_event = self.env.event()
@@ -775,7 +854,7 @@ class CoordinatorComponent:
                 size_bytes=state.size_bytes,
             )
         )
-        self.monitor.incr("coordinator.replications")
+        self._ctr_replications.value += 1
         yield from self.env.wait_any(
             [ack_event], timeout=self.config.detection.suspicion_timeout
         )
@@ -783,7 +862,8 @@ class CoordinatorComponent:
         if ack_event.triggered:
             self.coordinator_detector.heard_from(successor, self.env.now)
             if keys is not None:
-                self._dirty -= keys
+                for key in keys:
+                    self._dirty.pop(key, None)
             else:
                 self._dirty.clear()
             return True
@@ -811,15 +891,8 @@ class CoordinatorComponent:
         if not targets:
             return set(), False
         quorum = max(1, min(int(quorum), len(targets)))
-        keys = set(self._dirty)
-        state = build_state(
-            origin=self.name,
-            tasks=self.tasks,
-            client_timestamps=self.client_timestamps,
-            known_coordinators=[(c.kind, c.name) for c in self.registry.known()],
-            only_keys=keys,
-            now=self.env.now,
-        )
+        keys = self._dirty_keys_in_table_order()
+        state = self._build_state(keys)
         round_id = self._replication_rounds
         self._replication_rounds += 1
         waiter: dict[str, Any] = {
@@ -839,7 +912,7 @@ class CoordinatorComponent:
                     size_bytes=state.size_bytes,
                 )
             )
-        self.monitor.incr("coordinator.replications")
+        self._ctr_replications.value += 1
         yield from self.env.wait_any(
             [waiter["event"]], timeout=self.config.detection.suspicion_timeout
         )
@@ -847,7 +920,8 @@ class CoordinatorComponent:
         acks = set(waiter["acks"])
         committed = len(acks) >= quorum
         if committed:
-            self._dirty -= keys
+            for key in keys:
+                self._dirty.pop(key, None)
             self.monitor.incr("coordinator.quorum_commits")
         else:
             self.monitor.incr("coordinator.quorum_aborts")
@@ -875,14 +949,7 @@ class CoordinatorComponent:
 
     def _on_replica_pull(self, message: Message):
         """Serve a recovering peer the full current state abstract."""
-        state = build_state(
-            origin=self.name,
-            tasks=self.tasks,
-            client_timestamps=self.client_timestamps,
-            known_coordinators=[(c.kind, c.name) for c in self.registry.known()],
-            only_keys=None,
-            now=self.env.now,
-        )
+        state = self._build_state(None)
         yield from self._charge(self.database.charge_scan())
         self.host.send(
             message.reply(
@@ -906,6 +973,13 @@ class CoordinatorComponent:
             state,
             key_of=lambda record: identity_to_key(record.identity),
         )
+        if self.index is not None:
+            # Route the merged transitions through the index before the
+            # database charges below yield control — sibling processes (the
+            # watch loop, a replication round) must never see a stale view.
+            for identity in outcome.changed:
+                key = identity_to_key(identity)
+                self.index.note(self.tasks[key], key)
         # The backup pays one database write per new or updated description —
         # this is what dominates Figure 5 for small records.
         for _ in range(outcome.new_tasks + outcome.updated_tasks):
@@ -959,7 +1033,7 @@ class CoordinatorComponent:
                 for server in list(self.known_servers):
                     if self.server_detector.is_suspected(server, now):
                         reset = self.scheduler.reschedule_for_suspected_server(
-                            self.tasks, server, self.name
+                            self.tasks, server, self.name, index=self.index
                         )
                         if reset:
                             for record in reset:
@@ -971,9 +1045,16 @@ class CoordinatorComponent:
                 # back keeps the heart-beat alive but stops reporting the lost
                 # task, so suspicion alone would never recover it.
                 timeout = self.config.detection.suspicion_timeout
-                for key, task in self.tasks.items():
-                    if task.state is not TaskState.ONGOING or task.owner != self.name:
-                        continue
+                if self.index is not None:
+                    # Only this coordinator's ongoing bucket, not the table.
+                    candidates = self.index.ongoing_owned_by(self.name)
+                else:
+                    candidates = [
+                        (key, task)
+                        for key, task in self.tasks.items()
+                        if task.state is TaskState.ONGOING and task.owner == self.name
+                    ]
+                for key, task in candidates:
                     last_activity = self._task_activity.get(
                         key, task.started_at if task.started_at is not None else now
                     )
@@ -988,9 +1069,12 @@ class CoordinatorComponent:
     # ------------------------------------------------------------------ reporting
     def stats(self) -> dict[str, Any]:
         """Snapshot of coordinator counters (experiments / tests)."""
-        states = {state: 0 for state in TaskState}
-        for task in self.tasks.values():
-            states[task.state] += 1
+        if self.index is not None:
+            states = self.index.state_counts()
+        else:
+            states = {state: 0 for state in TaskState}
+            for task in self.tasks.values():
+                states[task.state] += 1
         return {
             "tasks": len(self.tasks),
             "pending": states[TaskState.PENDING],

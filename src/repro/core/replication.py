@@ -15,7 +15,7 @@ timing behaviour is visible to the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Iterable
 
 from repro.core.protocol import TASK_DESCRIPTION_BYTES, TaskRecord
 from repro.types import TaskState
@@ -42,6 +42,15 @@ class ReplicaState:
     #: coordinator list piggy-backed for registry merging.
     known_coordinators: list[tuple[str, str]] = field(default_factory=list)
     sent_at: float = 0.0
+    #: wire bytes of ``entries``, accumulated while building (``None`` means
+    #: unknown — e.g. a hand-assembled or payload-reconstructed state — and
+    #: :attr:`size_bytes` falls back to walking the entries).
+    entries_bytes: int | None = None
+    #: True for states assembled by :func:`build_state` whose entry dicts are
+    #: never aliased by the builder afterwards; lets :meth:`to_payload` skip
+    #: the defensive per-entry copy (every payload consumer —
+    #: :meth:`from_payload` — copies before mutating anything).
+    fresh: bool = False
 
     @property
     def size_bytes(self) -> int:
@@ -51,11 +60,14 @@ class ReplicaState:
         (re)executable at the backup also carry their parameters.  Results are
         never included.
         """
-        total = 0
-        for entry in self.entries:
-            total += TASK_DESCRIPTION_BYTES
-            if entry["state"] != TaskState.FINISHED.value:
-                total += int(entry["call"]["params_bytes"])
+        if self.entries_bytes is not None:
+            total = self.entries_bytes
+        else:
+            total = 0
+            for entry in self.entries:
+                total += TASK_DESCRIPTION_BYTES
+                if entry["state"] != TaskState.FINISHED.value:
+                    total += int(entry["call"]["params_bytes"])
         total += 64 * len(self.client_timestamps)
         total += 32 * len(self.known_coordinators)
         return total
@@ -64,7 +76,11 @@ class ReplicaState:
         """Dictionary form carried in REPLICA_STATE messages."""
         return {
             "origin": self.origin,
-            "entries": [dict(e) for e in self.entries],
+            "entries": (
+                list(self.entries)
+                if self.fresh
+                else [dict(e) for e in self.entries]
+            ),
             "client_timestamps": {
                 f"{u}//{s}": ts for (u, s), ts in self.client_timestamps.items()
             },
@@ -109,25 +125,52 @@ def build_state(
     tasks: dict[Any, TaskRecord],
     client_timestamps: dict[tuple[str, str], int],
     known_coordinators: list[tuple[str, str]],
-    only_keys: set[Any] | None = None,
+    only_keys: Iterable[Any] | None = None,
     now: float = 0.0,
+    entry_for: Callable[[Any, TaskRecord], tuple[dict[str, Any], int]] | None = None,
 ) -> ReplicaState:
     """Build the state abstract for the given tasks.
 
     ``only_keys`` restricts the abstract to an incremental set (the dirty
-    tasks since the last acknowledged propagation); ``None`` means full state.
+    tasks since the last acknowledged propagation); ``None`` means full
+    state.  The dirty keys are iterated **directly** — an incremental round
+    with 3 dirty tasks in a 100k-task table serializes 3 records, not a
+    filtered table walk — in the caller-given order (the coordinator passes
+    them in table order, so delta and full abstracts list entries
+    identically).  Keys no longer in the table are skipped.
+
+    ``entry_for`` maps ``(key, record)`` to a ``(entry dict, wire bytes)``
+    pair — the coordinator passes its :class:`~repro.core.taskindex.TaskIndex`
+    entry cache so unchanged records are serialized once per transition, not
+    once per round.  Wire size is accumulated during the build either way,
+    so :attr:`ReplicaState.size_bytes` never re-walks the entries.
     """
+    if only_keys is None:
+        records: Iterable[tuple[Any, TaskRecord]] = tasks.items()
+    else:
+        records = ((key, tasks[key]) for key in only_keys if key in tasks)
     entries = []
-    for key, record in tasks.items():
-        if only_keys is not None and key not in only_keys:
-            continue
-        entries.append(record.to_replica_entry())
+    entries_bytes = 0
+    if entry_for is None:
+        for _key, record in records:
+            entry = record.to_replica_entry()
+            entries.append(entry)
+            entries_bytes += TASK_DESCRIPTION_BYTES
+            if entry["state"] != TaskState.FINISHED.value:
+                entries_bytes += int(entry["call"]["params_bytes"])
+    else:
+        for key, record in records:
+            entry, nbytes = entry_for(key, record)
+            entries.append(entry)
+            entries_bytes += nbytes
     return ReplicaState(
         origin=origin,
         entries=entries,
         client_timestamps=dict(client_timestamps),
         known_coordinators=list(known_coordinators),
         sent_at=now,
+        entries_bytes=entries_bytes,
+        fresh=True,
     )
 
 

@@ -1,0 +1,265 @@
+"""Incrementally maintained indexes over a coordinator's task table.
+
+The coordinator keeps every task it has ever heard of in one persistent
+``dict`` — the paper's database of job descriptions.  Until PR 10, every
+consumer of that table rescanned it: each server work request sorted the
+whole table to find the FCFS head, each monitor sample counted finished
+tasks one by one, and suspecting a single server walked every record to
+find its handful of ongoing tasks.  At paper-scale backlogs that turns the
+busiest part of the protocol into quadratic aggregate work.
+
+:class:`TaskIndex` is the **single choke point for task state
+transitions**.  Every coordinator path that mutates a record (submission,
+assignment, result commit, replica merge, crowd batch expansion,
+reschedule) calls :meth:`TaskIndex.note` afterwards; the index diffs the
+record against what it last saw and updates:
+
+* a FCFS-ordered **pending heap** (lazy deletion: entries are skimmed when
+  their key is no longer pending) so the FIFO scheduling head is O(log n);
+* a second (exec_time, fcfs) heap, built lazily the first time the
+  fastest-first policy asks, so SJF scheduling is O(log n) too;
+* **per-state counters** so ``finished_count()`` and ``stats()`` are O(1);
+* **per-server ongoing buckets** so rescheduling a suspected server
+  touches only that server's tasks;
+* **per-owner ongoing buckets** so the replica de-duplication rule
+  ("ongoing tasks are only eligible when their owner is suspected") is
+  answered per distinct owner instead of per task;
+* a **replica-entry cache** so an unchanged record is serialized into a
+  state abstract once, not once per replication round, with its wire-byte
+  contribution precomputed.
+
+The eligible order produced through the index is bit-identical to the
+legacy sorted scan: FCFS keys are unique per task (submission time plus
+call identity), so any stable source of the same candidate set sorts to
+the same sequence.  The random and round-robin policies still materialize
+the full eligible list (they index into it by position), which keeps their
+per-pick cost at O(p log p) over the pending set — the win there is only
+that finished and held-ongoing records stay out of the scan entirely.
+
+The index is volatile: a restarted coordinator rebuilds it from the
+persistent table in ``start()``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.core.protocol import TASK_DESCRIPTION_BYTES, TaskRecord, identity_to_key
+from repro.policies.scheduling import _sjf_key, fcfs_key
+from repro.types import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.types import Address
+
+__all__ = ["TaskIndex"]
+
+_FINISHED_VALUE = TaskState.FINISHED.value
+
+
+class TaskIndex:
+    """Derived views of one coordinator's task table, updated per transition."""
+
+    def __init__(self, tasks: dict[tuple, TaskRecord]) -> None:
+        #: the coordinator's persistent table (shared reference, never copied).
+        self.tasks = tasks
+        self.rebuild()
+
+    # ------------------------------------------------------------- lifecycle
+    def rebuild(self) -> None:
+        """Re-derive everything from the table (restart / first start)."""
+        #: key -> (state, owner, assigned_server) as of the last note().
+        self._meta: dict[tuple, tuple] = {}
+        #: key -> table-insertion sequence number; replication rounds order
+        #: their dirty keys by it so delta abstracts list entries exactly as
+        #: a full table scan would (table keys are never deleted).
+        self._seq: dict[tuple, int] = {}
+        self._next_seq = 0
+        self._counts: dict[TaskState, int] = {state: 0 for state in TaskState}
+        #: live pending records (insertion-ordered; the heaps may hold stale
+        #: duplicates, membership here is what makes a heap entry valid).
+        self._pending: dict[tuple, TaskRecord] = {}
+        self._pending_heap: list[tuple[tuple, tuple]] = []
+        #: (exec_time, fcfs) heap for fastest-first; None until first used.
+        self._fast_heap: list[tuple[tuple, tuple]] | None = None
+        self._ongoing_by_owner: dict[str, dict[tuple, TaskRecord]] = {}
+        self._ongoing_by_server: dict[Any, dict[tuple, TaskRecord]] = {}
+        #: key -> (replica entry dict, wire bytes); dropped on every note.
+        self._entry_cache: dict[tuple, tuple[dict, int]] = {}
+        for key, record in self.tasks.items():
+            self.note(record, key)
+
+    # ------------------------------------------------------------ choke point
+    def note(self, record: TaskRecord, key: tuple | None = None) -> tuple:
+        """Record that ``record`` was added or mutated; update every view.
+
+        This is the state-transition choke point: any code that changes a
+        task record's state, owner, assignment, or replicated content must
+        call it (component authors: mutate, then ``note``).  Returns the
+        table key.
+        """
+        if key is None:
+            key = identity_to_key(record.identity)
+        # Any mutation can change the serialized form (finished_at, attempts,
+        # adopted crowd args), so the cached replica entry always drops.
+        self._entry_cache.pop(key, None)
+        new_meta = (record.state, record.owner, record.assigned_server)
+        prev = self._meta.get(key)
+        if prev == new_meta:
+            return key
+        if prev is None:
+            self._seq[key] = self._next_seq
+            self._next_seq += 1
+        else:
+            self._counts[prev[0]] -= 1
+            self._detach(key, prev)
+        self._meta[key] = new_meta
+        self._counts[new_meta[0]] += 1
+        self._attach(key, record, new_meta)
+        return key
+
+    def _detach(self, key: tuple, meta: tuple) -> None:
+        state, owner, server = meta
+        if state is TaskState.PENDING:
+            self._pending.pop(key, None)
+            # Heap entries are skimmed lazily once the key is gone.
+            return
+        if state is TaskState.ONGOING:
+            bucket = self._ongoing_by_owner.get(owner)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._ongoing_by_owner[owner]
+            if server is not None:
+                bucket = self._ongoing_by_server.get(server)
+                if bucket is not None:
+                    bucket.pop(key, None)
+                    if not bucket:
+                        del self._ongoing_by_server[server]
+
+    def _attach(self, key: tuple, record: TaskRecord, meta: tuple) -> None:
+        state, owner, server = meta
+        if state is TaskState.PENDING:
+            self._pending[key] = record
+            heapq.heappush(self._pending_heap, (fcfs_key(record), key))
+            if self._fast_heap is not None:
+                heapq.heappush(self._fast_heap, (_sjf_key(record), key))
+            return
+        if state is TaskState.ONGOING:
+            self._ongoing_by_owner.setdefault(owner, {})[key] = record
+            if server is not None:
+                self._ongoing_by_server.setdefault(server, {})[key] = record
+
+    # -------------------------------------------------------------- counters
+    @property
+    def finished(self) -> int:
+        """Tasks known finished — O(1), replaces the full-table count."""
+        return self._counts[TaskState.FINISHED]
+
+    @property
+    def pending(self) -> int:
+        return self._counts[TaskState.PENDING]
+
+    @property
+    def ongoing(self) -> int:
+        return self._counts[TaskState.ONGOING]
+
+    def state_counts(self) -> dict[TaskState, int]:
+        """Per-state record counts (a copy; O(1) in the table size)."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------ scheduling
+    def eligible_extras(
+        self, my_name: str, owner_suspected: Callable[[str], bool]
+    ) -> tuple[list[TaskRecord], int]:
+        """Ongoing tasks of suspected other owners, plus the held count.
+
+        The de-duplication rule withholds every other ongoing task; the
+        legacy scan counted one hold per withheld record, so the held count
+        here is total-ongoing minus the released extras.  ``owner_suspected``
+        is consulted once per distinct owner with live ongoing tasks —
+        exactly the owners the legacy scan would have asked about (the
+        detector latches suspicion state, so asking once is equivalent to
+        asking once per task).
+        """
+        extras: list[TaskRecord] = []
+        for owner, bucket in self._ongoing_by_owner.items():
+            if owner == my_name or not bucket:
+                continue
+            if owner_suspected(owner):
+                extras.extend(bucket.values())
+        return extras, self._counts[TaskState.ONGOING] - len(extras)
+
+    def pending_head(self) -> TaskRecord | None:
+        """The FCFS-first pending record, O(log n) amortized."""
+        heap = self._pending_heap
+        pending = self._pending
+        while heap and heap[0][1] not in pending:
+            heapq.heappop(heap)
+        return pending[heap[0][1]] if heap else None
+
+    def fastest_head(self) -> TaskRecord | None:
+        """The SJF-first pending record (exec_time, then FCFS)."""
+        heap = self._fast_heap
+        if heap is None:
+            heap = self._fast_heap = [
+                (_sjf_key(record), key) for key, record in self._pending.items()
+            ]
+            heapq.heapify(heap)
+        pending = self._pending
+        while heap and heap[0][1] not in pending:
+            heapq.heappop(heap)
+        return pending[heap[0][1]] if heap else None
+
+    def eligible_list(self, extras: list[TaskRecord]) -> list[TaskRecord]:
+        """The full FCFS-sorted eligible list (pending plus ``extras``).
+
+        FCFS keys are unique, so this equals the legacy sorted table scan
+        bit for bit.  Positional policies (random, round-robin) need the
+        materialized list; FIFO and fastest-first use the heap heads.
+        """
+        eligible = list(self._pending.values())
+        if extras:
+            eligible.extend(extras)
+        eligible.sort(key=fcfs_key)
+        return eligible
+
+    def ongoing_on_server(self, server: "Address") -> list[tuple[tuple, TaskRecord]]:
+        """Snapshot of (key, record) ongoing on ``server`` (any owner)."""
+        bucket = self._ongoing_by_server.get(server)
+        return list(bucket.items()) if bucket else []
+
+    def ongoing_owned_by(self, owner: str) -> list[tuple[tuple, TaskRecord]]:
+        """Snapshot of (key, record) ongoing and owned by ``owner``."""
+        bucket = self._ongoing_by_owner.get(owner)
+        return list(bucket.items()) if bucket else []
+
+    # ----------------------------------------------------------- replication
+    def table_ordered(self, keys: Iterable[tuple]) -> list[tuple]:
+        """``keys`` sorted by table insertion order.
+
+        A delta replication round ships only the dirty keys, but lists them
+        in the order a full table scan would have produced, so incremental
+        and full abstracts stay byte-compatible with the legacy builder.
+        O(d log d) in the dirty-set size, independent of the table.
+        """
+        seq = self._seq
+        return sorted(keys, key=seq.__getitem__)
+
+    def replica_entry(self, key: tuple, record: TaskRecord) -> tuple[dict, int]:
+        """The serialized replica entry for ``record`` and its wire bytes.
+
+        Cached until the next :meth:`note` for the key, so steady-state
+        replication rounds serialize each record once per transition rather
+        than once per round.  The entry dict is treated as immutable by
+        every consumer (``ReplicaState.from_payload`` copies before
+        merging), so sharing it across rounds and payloads is safe.
+        """
+        cached = self._entry_cache.get(key)
+        if cached is None:
+            entry = record.to_replica_entry()
+            nbytes = TASK_DESCRIPTION_BYTES
+            if entry["state"] != _FINISHED_VALUE:
+                nbytes += int(entry["call"]["params_bytes"])
+            cached = self._entry_cache[key] = (entry, nbytes)
+        return cached

@@ -17,7 +17,7 @@ name, RNG streams and monitor at start time.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.platform.component import BaseComponent
 
@@ -44,6 +44,9 @@ class PolicyBase(BaseComponent):
         self.owner: str = ""
         self._rng: "RandomStreams | None" = None
         self._monitor: "Monitor | None" = None
+        #: short counter name -> pre-resolved Counter handle, so request-path
+        #: incrs skip the per-call f-string and by-name registry lookup.
+        self._counter_handles: dict[str, Any] = {}
 
     def bind(
         self,
@@ -60,12 +63,24 @@ class PolicyBase(BaseComponent):
         self.owner = owner
         self._rng = rng
         self._monitor = monitor
+        self._counter_handles = {}
         return self
 
     def incr(self, counter: str, amount: float = 1.0) -> None:
-        """Bump the per-policy monitor counter ``<key>.<counter>``."""
-        if self._monitor is not None:
-            self._monitor.incr(f"{self.key}.{counter}", amount)
+        """Bump the per-policy monitor counter ``<key>.<counter>``.
+
+        Handles are resolved lazily on first use (never pre-registered, so
+        a policy that never bumps a counter never publishes it) and cached
+        for every bump after that.
+        """
+        if self._monitor is None:
+            return
+        handle = self._counter_handles.get(counter)
+        if handle is None:
+            handle = self._counter_handles[counter] = self._monitor.counter(
+                f"{self.key}.{counter}"
+            )
+        handle.value += amount
 
     def stream(self, suffix: str = ""):
         """The policy's deterministic RNG stream (requires a bound RNG)."""

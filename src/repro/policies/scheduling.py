@@ -41,6 +41,7 @@ from repro.types import Address, TaskState
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle through
     # repro.core.__init__, which itself imports the policy layer)
     from repro.core.protocol import TaskRecord
+    from repro.core.taskindex import TaskIndex
 
 __all__ = [
     "SchedulingDecision",
@@ -49,6 +50,7 @@ __all__ = [
     "RandomSchedulerPolicy",
     "RoundRobinSchedulerPolicy",
     "FastestFirstSchedulerPolicy",
+    "fcfs_key",
 ]
 
 
@@ -60,14 +62,23 @@ class SchedulingDecision:
     reason: str = ""
 
 
-def _fcfs_key(record: TaskRecord) -> tuple:
-    """The paper's FCFS order: submission time, then call identity."""
+def fcfs_key(record: TaskRecord) -> tuple:
+    """The paper's FCFS order: submission time, then call identity.
+
+    Unique per task (the identity is unique), so every FCFS sort is total:
+    any source of the same candidate set — the legacy table scan or the
+    task index's pending heap — produces the same order bit for bit.
+    """
     return (
         record.submitted_at,
         record.call.identity.user.value,
         record.call.identity.session.value,
         record.call.identity.rpc.value,
     )
+
+
+#: backwards-compatible alias (the key predates its public export).
+_fcfs_key = fcfs_key
 
 
 class SchedulerPolicy(PolicyBase):
@@ -124,12 +135,28 @@ class SchedulerPolicy(PolicyBase):
         my_name: str,
         owner_suspected: Callable[[str], bool],
         now: float,
+        index: "TaskIndex | None" = None,
     ) -> SchedulingDecision:
-        """Answer one work request from ``server``."""
-        eligible = self.eligible_tasks(tasks, my_name, owner_suspected)
-        if not eligible:
-            return SchedulingDecision(task=None, reason="no eligible task")
-        task = self.choose(eligible, server=server, now=now)
+        """Answer one work request from ``server``.
+
+        With ``index`` (the coordinator's :class:`TaskIndex`) the eligible
+        candidates come from the maintained pending structures instead of a
+        full table scan; without it, the legacy scan-and-sort runs.  The
+        chosen task is identical either way.  The caller is responsible for
+        routing the mutation back through the index (the coordinator does so
+        via ``_mark_dirty``).
+        """
+        if index is None:
+            eligible = self.eligible_tasks(tasks, my_name, owner_suspected)
+            if not eligible:
+                return SchedulingDecision(task=None, reason="no eligible task")
+            task = self.choose(eligible, server=server, now=now)
+        else:
+            extras, held = index.eligible_extras(my_name, owner_suspected)
+            self.dedup_holds += held
+            task = self.choose_indexed(index, extras, server=server, now=now)
+            if task is None:
+                return SchedulingDecision(task=None, reason="no eligible task")
         task.state = TaskState.ONGOING
         task.owner = my_name
         task.assigned_server = server
@@ -145,24 +172,55 @@ class SchedulerPolicy(PolicyBase):
         """Pick one task from the non-empty, FCFS-ordered eligible list."""
         raise NotImplementedError
 
+    def choose_indexed(
+        self,
+        index: "TaskIndex",
+        extras: list[TaskRecord],
+        server: Address,
+        now: float,
+    ) -> TaskRecord | None:
+        """Pick one task through the index (``None`` when nothing is eligible).
+
+        The default materializes the FCFS-sorted eligible list — positional
+        policies (random, round-robin) need it — which is bit-identical to
+        the legacy scan's list.  FIFO and fastest-first override this with
+        their heap heads.
+        """
+        eligible = index.eligible_list(extras)
+        if not eligible:
+            return None
+        return self.choose(eligible, server=server, now=now)
+
     # ------------------------------------------------------------ rescheduling
     def reschedule_for_suspected_server(
-        self, tasks: dict[object, TaskRecord], server: Address, my_name: str
+        self,
+        tasks: dict[object, TaskRecord],
+        server: Address,
+        my_name: str,
+        index: "TaskIndex | None" = None,
     ) -> list[TaskRecord]:
         """"On suspicion" replication: re-queue every ongoing task of ``server``.
 
         Returns the tasks that were reset to PENDING (empty when the policy
-        has rescheduling disabled).
+        has rescheduling disabled).  With ``index``, only the suspected
+        server's ongoing bucket is touched instead of the whole table; the
+        caller routes the resets back through the index when marking them
+        dirty.
         """
         if not self.reschedule:
             return []
         reset: list[TaskRecord] = []
-        for record in tasks.values():
-            if (
-                record.state is TaskState.ONGOING
+        if index is None:
+            candidates = (
+                record
+                for record in tasks.values()
+                if record.state is TaskState.ONGOING
                 and record.assigned_server == server
-                and record.owner == my_name
-            ):
+            )
+        else:
+            candidates = (record for _key, record in index.ongoing_on_server(server))
+        for record in candidates:
+            if record.owner == my_name:
                 record.state = TaskState.PENDING
                 record.assigned_server = None
                 reset.append(record)
@@ -181,6 +239,21 @@ class FifoReschedulePolicy(SchedulerPolicy):
         self, eligible: list[TaskRecord], server: Address, now: float
     ) -> TaskRecord:
         return eligible[0]
+
+    def choose_indexed(
+        self,
+        index: "TaskIndex",
+        extras: list[TaskRecord],
+        server: Address,
+        now: float,
+    ) -> TaskRecord | None:
+        # O(log n): the pending heap head, against the (rare, small) extras.
+        head = index.pending_head()
+        if extras:
+            best_extra = min(extras, key=fcfs_key)
+            if head is None or fcfs_key(best_extra) < fcfs_key(head):
+                return best_extra
+        return head
 
 
 @component("policy.sched.random")
@@ -227,12 +300,29 @@ class FastestFirstSchedulerPolicy(SchedulerPolicy):
     def choose(
         self, eligible: list[TaskRecord], server: Address, now: float
     ) -> TaskRecord:
-        return min(
-            eligible,
-            key=lambda record: (
-                record.call.exec_time
-                if record.call.exec_time is not None
-                else float("inf"),
-                _fcfs_key(record),
-            ),
-        )
+        return min(eligible, key=_sjf_key)
+
+    def choose_indexed(
+        self,
+        index: "TaskIndex",
+        extras: list[TaskRecord],
+        server: Address,
+        now: float,
+    ) -> TaskRecord | None:
+        # O(log n): the (exec_time, fcfs) heap head, against the extras.
+        # The SJF key embeds the unique FCFS key, so there are no ties and
+        # the heap head equals the legacy min() over the full list.
+        head = index.fastest_head()
+        if extras:
+            best_extra = min(extras, key=_sjf_key)
+            if head is None or _sjf_key(best_extra) < _sjf_key(head):
+                return best_extra
+        return head
+
+
+def _sjf_key(record: TaskRecord) -> tuple:
+    """Fastest-first order: declared exec time (unknown last), FCFS tie-break."""
+    return (
+        record.call.exec_time if record.call.exec_time is not None else float("inf"),
+        fcfs_key(record),
+    )
